@@ -1,0 +1,31 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs its experiment once (experiments are deterministic —
+pytest-benchmark's multi-round statistics would just re-measure the same
+events) and records the paper-style result table to
+``benchmarks/results/<name>.txt`` as well as stdout, so the reproduced
+rows survive output capture.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist one experiment's formatted output and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

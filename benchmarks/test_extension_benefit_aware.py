@@ -1,0 +1,50 @@
+"""Extension (paper Section IV-E): benefit-aware migration prioritization.
+
+The paper suggests inferring the per-job speed-up curve and prioritizing
+jobs that benefit more.  This bench compares the three policies on the
+SWIM workload.
+"""
+
+import pytest
+
+from repro.core import IgnemConfig
+from repro.experiments import clear_cache, run_swim
+
+from conftest import run_once
+
+
+def _run(policy: str):
+    clear_cache()
+    run = run_swim(
+        "ignem", seed=0, num_jobs=120, ignem_config=IgnemConfig(policy=policy)
+    )
+    return run.collector.mean_job_duration()
+
+
+def test_extension_benefit_aware_policy(benchmark, record_result):
+    def study():
+        baseline = run_swim("hdfs", seed=0, num_jobs=120).collector.mean_job_duration()
+        results = {
+            policy: _run(policy)
+            for policy in ("fifo", "smallest-job-first", "benefit-aware")
+        }
+        return baseline, results
+
+    baseline, results = run_once(benchmark, study)
+    clear_cache()
+
+    lines = ["Extension IV-E — migration priority policies (SWIM, 120 jobs)"]
+    lines.append(f"{'HDFS baseline':<20} {baseline:6.2f}s")
+    for policy, duration in results.items():
+        lines.append(
+            f"{policy:<20} {duration:6.2f}s "
+            f"({(baseline - duration) / baseline:+.1%} vs HDFS)"
+        )
+    record_result("extension_benefit_aware", "\n".join(lines))
+
+    # Every Ignem policy beats plain HDFS.
+    for duration in results.values():
+        assert duration < baseline
+    # The informed policies are no worse than naive FIFO.
+    assert results["smallest-job-first"] <= results["fifo"] * 1.02
+    assert results["benefit-aware"] <= results["fifo"] * 1.02

@@ -1,0 +1,63 @@
+"""Extension (paper Section V, Aqueduct): bounded-impact migration.
+
+Aqueduct throttles migration to bound its impact on foreground work;
+Ignem is purely work-conserving.  This bench quantifies the trade-off on
+the sort workload: the throttle protects foreground reads slightly but
+forfeits migration opportunity.
+"""
+
+import pytest
+
+from repro.cluster import build_paper_testbed
+from repro.core import IgnemConfig
+from repro.storage import GB
+from repro.workloads.sort import make_sort_spec, materialize
+
+from conftest import run_once
+
+
+def _run(busy_threshold):
+    cluster = build_paper_testbed(
+        seed=0,
+        ignem=True,
+        ignem_config=IgnemConfig(busy_threshold=busy_threshold),
+    )
+    materialize(cluster, 20 * GB)
+    job = cluster.engine.submit_job(make_sort_spec(20 * GB))
+    cluster.run()
+    collector = cluster.collector
+    disk_reads = [r.duration for r in collector.block_reads if r.source != "ram"]
+    return {
+        "duration": job.duration,
+        "migrated": len(collector.completed_migrations()),
+        "mean_disk_read": sum(disk_reads) / len(disk_reads) if disk_reads else 0.0,
+    }
+
+
+def test_extension_busy_throttle(benchmark, record_result):
+    def study():
+        return {
+            "work-conserving": _run(None),
+            "throttle@8": _run(8),
+            "throttle@4": _run(4),
+        }
+
+    results = run_once(benchmark, study)
+
+    lines = ["Extension — Aqueduct-style migration throttle (20GB sort)"]
+    for name, stats in results.items():
+        lines.append(
+            f"{name:<16} duration={stats['duration']:7.1f}s "
+            f"migrated={stats['migrated']:4d} "
+            f"mean-disk-read={stats['mean_disk_read']:5.2f}s"
+        )
+    record_result("extension_busy_throttle", "\n".join(lines))
+
+    # Throttling can only reduce migration volume...
+    assert results["throttle@4"]["migrated"] <= results["work-conserving"]["migrated"]
+    # ...and the paper's work-conserving choice is at least as fast for
+    # the job overall (migration opportunity outweighs the contention).
+    assert (
+        results["work-conserving"]["duration"]
+        <= results["throttle@4"]["duration"] * 1.05
+    )

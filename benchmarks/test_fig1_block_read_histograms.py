@@ -1,0 +1,33 @@
+"""Fig 1: HDFS block read times from HDD, SSD, and RAM.
+
+Paper: reads from RAM are on average ~160x faster than from HDD and ~7x
+faster than from SSD.
+"""
+
+import pytest
+
+from repro.experiments import run_block_read_study
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_block_read_study(seed=0, num_jobs=60)
+
+
+def test_fig1_block_read_histograms(benchmark, study, record_result):
+    result = run_once(benchmark, lambda: study)
+    record_result("fig1_block_reads", result.format())
+
+    # Shape: RAM reads are orders of magnitude faster than HDD and several
+    # times faster than SSD.
+    hdd_ratio = result.read_ratio("hdd")
+    ssd_ratio = result.read_ratio("ssd")
+    assert 60 <= hdd_ratio <= 400, f"RAM-vs-HDD ratio {hdd_ratio:.0f}x (paper ~160x)"
+    assert 3 <= ssd_ratio <= 15, f"RAM-vs-SSD ratio {ssd_ratio:.1f}x (paper ~7x)"
+
+    # Histograms are well-formed relative frequencies.
+    edges, freqs = result.read_histogram("hdd")
+    assert len(edges) == len(freqs) + 1
+    assert sum(freqs) == pytest.approx(1.0)

@@ -1,0 +1,26 @@
+"""Fig 3: lead-time sufficiency over the Google trace.
+
+Paper: for 81% of jobs, lead-time exceeds total disk-read time, so their
+entire inputs could migrate to memory before the first task starts.
+"""
+
+import pytest
+
+from repro.experiments import run_leadtime_study
+
+from conftest import run_once
+
+
+def test_fig3_leadtime_sufficiency(benchmark, record_result):
+    study = run_once(benchmark, run_leadtime_study, seed=0, num_jobs=10_000)
+    record_result("fig3_leadtime_sufficiency", study.format())
+
+    assert study.sufficient_fraction == pytest.approx(0.81, abs=0.03)
+    # The queueing-delay marginals the paper reports for the trace.
+    assert study.analysis.mean_lead_time == pytest.approx(8.8, rel=0.15)
+    assert study.analysis.median_lead_time == pytest.approx(1.8, rel=0.15)
+
+    # The CDF curve itself (the Fig 3 series).
+    ratios, fractions = study.cdf()
+    assert ratios == sorted(ratios)
+    assert 0 < fractions[-1] <= 1.0

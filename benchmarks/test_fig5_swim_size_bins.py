@@ -1,0 +1,37 @@
+"""Fig 5: reduction in mean job duration, binned by input size.
+
+Paper: Ignem speeds up small (<=64MB), medium (64-512MB) and large
+(>512MB) jobs by 8.8%, 7.7% and 25%; with inputs in RAM, large jobs
+improve by ~60% — larger jobs are more sensitive to read optimization.
+"""
+
+import pytest
+
+from repro.experiments import fig5_size_bins
+
+from conftest import run_once
+
+
+def test_fig5_swim_size_bins(benchmark, record_result):
+    results = run_once(benchmark, fig5_size_bins, seed=0, num_jobs=200)
+
+    lines = ["Fig 5 — reduction in mean job duration by input-size bin"]
+    for row in results:
+        lines.append(
+            f"{row.bin_name:<7} n={row.num_jobs:<4} hdfs={row.hdfs_mean:7.1f}s "
+            f"ignem={row.ignem_reduction:6.1%} ram={row.ram_reduction:6.1%}"
+        )
+    record_result("fig5_swim_size_bins", "\n".join(lines))
+
+    by_bin = {row.bin_name: row for row in results}
+    assert set(by_bin) == {"small", "medium", "large"}
+
+    # Ignem helps every bin, and large jobs benefit the most.
+    for row in results:
+        assert row.ignem_reduction > 0
+    assert by_bin["large"].ignem_reduction > by_bin["small"].ignem_reduction
+    # With inputs in RAM, large jobs improve dramatically (paper ~60%).
+    assert by_bin["large"].ram_reduction >= 0.4
+    # Small jobs: Ignem approaches the RAM bound (the paper: "its
+    # performance is very close to that of HDFS-Inputs-in-RAM").
+    assert by_bin["small"].ignem_reduction >= 0.4 * by_bin["small"].ram_reduction

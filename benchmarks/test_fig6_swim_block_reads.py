@@ -1,0 +1,36 @@
+"""Fig 6: per-block read durations under HDFS vs Ignem.
+
+Paper: Ignem reduces the mean block read time by ~40%, with ~60% of
+blocks successfully migrated and read from memory.
+"""
+
+import pytest
+
+from repro.experiments import fig6_block_read_cdf
+from repro.metrics.stats import mean
+
+from conftest import run_once
+
+
+def test_fig6_swim_block_reads(benchmark, record_result):
+    result = run_once(benchmark, fig6_block_read_cdf, seed=0, num_jobs=200)
+
+    lines = [
+        "Fig 6 — block read durations (HDFS vs Ignem)",
+        f"mean read: hdfs={mean(result.hdfs_durations):.2f}s "
+        f"ignem={mean(result.ignem_durations):.2f}s "
+        f"({result.mean_reduction:.0%} reduction; paper ~40%)",
+        f"blocks read from memory under Ignem: "
+        f"{result.migrated_fraction:.0%} (paper ~60%)",
+    ]
+    values, fractions = result.ignem_cdf()
+    p50 = values[int(0.5 * len(values))]
+    lines.append(f"Ignem read p50: {p50:.3f}s (migrated reads are ~instant)")
+    record_result("fig6_swim_block_reads", "\n".join(lines))
+
+    assert 0.25 <= result.mean_reduction <= 0.65, "paper: ~40%"
+    assert 0.45 <= result.migrated_fraction <= 0.75, "paper: ~60%"
+    # The CDF shows a large fast-read mass: at least the migrated
+    # fraction of reads complete near-instantly (<1s).
+    fast = sum(1 for v in result.ignem_durations if v < 1.0)
+    assert fast / len(result.ignem_durations) >= result.migrated_fraction * 0.9

@@ -1,0 +1,49 @@
+"""Fig 8: wordcount vs input size, with the Ignem+10s lead-time variant.
+
+Paper shape:
+* Ignem matches HDFS-Inputs-in-RAM while the input fits in lead-time,
+  then its relative benefit decays (inflection ~2GB on their testbed);
+* Ignem+10s is ~20% *worse* than HDFS at 1GB (the sleep dominates),
+  crosses below HDFS as inputs grow, and at 4GB *outperforms* plain
+  Ignem — introducing delay speeds up the job because Ignem reads the
+  disk sequentially during the sleep, more efficiently than the
+  concurrent mappers would.
+
+Our crossovers land at larger inputs (see EXPERIMENTS.md) because the
+simulated mmap/mlock path reads at full sequential bandwidth; every
+qualitative feature reproduces.
+"""
+
+import pytest
+
+from repro.experiments import fig8_wordcount_sweep
+
+from conftest import run_once
+
+
+def test_fig8_wordcount_leadtime(benchmark, record_result):
+    sweep = run_once(benchmark, fig8_wordcount_sweep, seed=0)
+    record_result("fig8_wordcount_leadtime", sweep.format())
+
+    sizes = sweep.sizes()
+    smallest, largest = sizes[0], sizes[-1]
+
+    # Ignem matches the RAM bound at small sizes, then diverges.
+    assert sweep.ignem_matches_ram_until() >= 2.0
+    assert sweep.relative(largest, "ignem") > sweep.relative(largest, "ram") + 0.05
+
+    # Ignem always beats plain HDFS (it never pays the sleep).
+    for size in sizes:
+        assert sweep.relative(size, "ignem") < 1.0
+
+    # Ignem+10s: hurts badly at the smallest size...
+    assert sweep.relative(smallest, "ignem+10s") > 1.2
+    # ...crosses below HDFS as the input grows...
+    assert sweep.relative(largest, "ignem+10s") < 1.0
+    # ...and eventually overtakes plain Ignem (the IV-F headline).
+    crossover = sweep.plus10_beats_ignem_at()
+    assert crossover is not None, "Ignem+10s never overtook Ignem in the sweep"
+
+    # The RAM bound's relative benefit grows with input size (reads are a
+    # growing share of the job) — the Section IV-E observation.
+    assert sweep.relative(largest, "ram") < sweep.relative(smallest, "ram")

@@ -1,0 +1,29 @@
+"""Table I: mean job duration over the 200-job SWIM workload.
+
+Paper: HDFS 14.4s; Ignem 12.7s (12% speedup); HDFS-Inputs-in-RAM 11.4s
+(21% — the upper bound).  Ignem realizes ~60% of the bound.
+"""
+
+import pytest
+
+from repro.experiments import table1_job_duration
+
+from conftest import run_once
+
+
+def test_table1_swim_job_duration(benchmark, record_result):
+    table = run_once(benchmark, table1_job_duration, seed=0, num_jobs=200)
+    text = table.format() + (
+        f"\nIgnem realizes {table.fraction_of_upper_bound():.0%} of the "
+        f"inputs-in-RAM upper bound (paper: ~60%)"
+    )
+    record_result("table1_swim_job_duration", text)
+
+    # Ordering: HDFS slowest, RAM fastest, Ignem in between.
+    assert table.value("hdfs") > table.value("ignem") > table.value("ram")
+    # Rough factors.
+    assert 0.05 <= table.speedup("ignem") <= 0.25, "paper: 12%"
+    assert 0.10 <= table.speedup("ram") <= 0.35, "paper: 21%"
+    assert 0.3 <= table.fraction_of_upper_bound() <= 0.8, "paper: ~60%"
+    # Absolute scale is in the right ballpark of the paper's testbed.
+    assert 8 <= table.value("hdfs") <= 25

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Replay the SWIM Facebook-derived trace and print the paper's headline
+numbers (Tables I and II, Figure 6).
+
+Run:  python examples/swim_replay.py [num_jobs]
+"""
+
+import sys
+
+from repro.experiments import (
+    fig6_block_read_cdf,
+    table1_job_duration,
+    table2_task_duration,
+)
+
+
+def main() -> None:
+    num_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    print(f"Replaying the first {num_jobs} SWIM jobs on 8 simulated servers")
+    print("(three runs: HDFS, Ignem, HDFS-Inputs-in-RAM)\n")
+
+    table1 = table1_job_duration(seed=0, num_jobs=num_jobs)
+    print(table1.format())
+    print(
+        f"Ignem realizes {table1.fraction_of_upper_bound():.0%} of the "
+        f"upper bound (paper: ~60%)\n"
+    )
+
+    table2 = table2_task_duration(seed=0, num_jobs=num_jobs)
+    print(table2.format())
+    print()
+
+    fig6 = fig6_block_read_cdf(seed=0, num_jobs=num_jobs)
+    print(
+        f"block reads: {fig6.mean_reduction:.0%} mean reduction "
+        f"(paper ~40%); {fig6.migrated_fraction:.0%} of blocks read from "
+        f"memory (paper ~60%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

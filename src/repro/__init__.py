@@ -1,0 +1,41 @@
+"""repro: a full reproduction of *Ignem: Upward Migration of Cold Data in
+Big Data File Systems* (Dzinamarira, Dinu, Ng — ICDCS 2018).
+
+The package builds the paper's entire software stack as a deterministic
+discrete-event simulation — storage devices, an HDFS-like DFS, a
+YARN-like scheduler, a Tez-like execution engine, a Hive-like query
+layer — and implements Ignem (proactive cold-data migration) on top,
+together with every baseline, workload, and experiment in the paper.
+
+Quickstart::
+
+    from repro import build_paper_testbed, JobSpec
+    from repro.storage import MB
+
+    cluster = build_paper_testbed(ignem=True)
+    cluster.client.create_file("/data/logs", 640 * MB)
+    job = cluster.engine.submit_job(JobSpec("grep", ("/data/logs",)))
+    cluster.run()
+    print(f"{job.job_id} took {job.duration:.1f}s")
+"""
+
+from .cluster import Cluster, ClusterConfig, build_paper_testbed
+from .core import IgnemConfig, IgnemMaster, IgnemSlave
+from .mapreduce import EngineConfig, JobSpec, MapReduceEngine
+from .metrics import MetricsCollector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "EngineConfig",
+    "IgnemConfig",
+    "IgnemMaster",
+    "IgnemSlave",
+    "JobSpec",
+    "MapReduceEngine",
+    "MetricsCollector",
+    "build_paper_testbed",
+    "__version__",
+]

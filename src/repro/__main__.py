@@ -1,0 +1,63 @@
+"""Command-line entry point: reproduce the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1 fig6 --out results/ --seed 0
+    python -m repro all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.report import available_experiments, run_experiments
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the tables and figures of 'Ignem: Upward Migration "
+            "of Cold Data in Big Data File Systems' (ICDCS 2018)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run selected experiments")
+    run.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
+    run.add_argument("--out", default="results", help="output directory")
+    run.add_argument("--seed", type=int, default=0)
+
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--out", default="results", help="output directory")
+    everything.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    names = None if args.command == "all" else args.experiments
+    try:
+        results = run_experiments(names, out_dir=args.out, seed=args.seed)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    for name, text in results.items():
+        print(f"\n=== {name} ===")
+        print(text)
+    print(f"\nresults written to {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

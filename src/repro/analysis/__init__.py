@@ -1,0 +1,22 @@
+"""Section II feasibility analyses over the (synthetic) Google trace."""
+
+from .disk_utilization import (
+    UtilizationTimeline,
+    mean_utilization_timeline,
+    overall_mean_utilization,
+    server_utilization,
+)
+from .leadtime import LeadTimeAnalysis, analyze_lead_time, ratio_cdf
+from .memory import MemorySufficiency, worst_case_memory
+
+__all__ = [
+    "LeadTimeAnalysis",
+    "MemorySufficiency",
+    "UtilizationTimeline",
+    "analyze_lead_time",
+    "mean_utilization_timeline",
+    "overall_mean_utilization",
+    "ratio_cdf",
+    "server_utilization",
+    "worst_case_memory",
+]

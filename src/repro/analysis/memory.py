@@ -1,0 +1,53 @@
+"""Worst-case memory sufficiency analysis (paper Section II-C2).
+
+The paper argues there is always enough RAM for migrated data: at most
+~50 concurrent tasks per server, each a mapper reading one large 256MB
+block, bounds migrated bytes at 12.5GB — small next to servers with
+hundreds of GB of RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage.device import GB, MB
+
+
+@dataclass(frozen=True)
+class MemorySufficiency:
+    """Result of the worst-case bound computation."""
+
+    concurrent_tasks: int
+    block_size: float
+    server_ram: float
+
+    @property
+    def worst_case_bytes(self) -> float:
+        """Upper bound on simultaneously needed migrated bytes."""
+        return self.concurrent_tasks * self.block_size
+
+    @property
+    def ram_fraction(self) -> float:
+        """Worst case as a fraction of server RAM."""
+        return self.worst_case_bytes / self.server_ram
+
+    @property
+    def sufficient(self) -> bool:
+        return self.worst_case_bytes <= self.server_ram
+
+
+def worst_case_memory(
+    concurrent_tasks: int = 50,
+    block_size: float = 256 * MB,
+    server_ram: float = 128 * GB,
+) -> MemorySufficiency:
+    """The paper's worst-case arithmetic (50 tasks x 256MB = 12.5GB)."""
+    if concurrent_tasks < 1:
+        raise ValueError("concurrent_tasks must be >= 1")
+    if block_size <= 0 or server_ram <= 0:
+        raise ValueError("block_size and server_ram must be positive")
+    return MemorySufficiency(
+        concurrent_tasks=concurrent_tasks,
+        block_size=block_size,
+        server_ram=server_ram,
+    )

@@ -1,0 +1,22 @@
+"""Baselines from the paper's evaluation.
+
+* plain HDFS — a :class:`~repro.cluster.Cluster` without Ignem;
+* *HDFS-Inputs-in-RAM* — :meth:`Cluster.pin_all_inputs` (the vmtouch
+  upper bound);
+* the *hypothetical instantaneous scheme* — analytic memory timelines in
+  :mod:`repro.baselines.hypothetical` (Fig 7's comparison point).
+"""
+
+from .hypothetical import (
+    MemoryTimeline,
+    hypothetical_memory_timelines,
+    ignem_memory_timelines,
+    mean_footprint,
+)
+
+__all__ = [
+    "MemoryTimeline",
+    "hypothetical_memory_timelines",
+    "ignem_memory_timelines",
+    "mean_footprint",
+]

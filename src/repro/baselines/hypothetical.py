@@ -1,0 +1,112 @@
+"""The hypothetical instantaneous migration scheme (paper Figure 7).
+
+A scheme that could migrate a job's entire input into memory at the
+instant of submission and evict it at the instant of completion.  It
+cannot exist (data cannot move instantaneously) but upper-bounds the
+speedup — and the paper uses its memory footprint as the comparison
+point showing Ignem's footprint is 2.6x smaller.
+
+The footprint is computed analytically from job records plus the block
+placement: +input bytes on each holding server at submit, -at completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from ..metrics.records import JobRecord
+from ..sim.rand import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import Cluster
+
+
+@dataclass(frozen=True)
+class MemoryTimeline:
+    """Step function of migrated bytes on one server over time."""
+
+    node: str
+    points: Tuple[Tuple[float, float], ...]  # (time, bytes) after each change
+
+    def nonzero_samples(self) -> List[float]:
+        """Byte levels during the non-zero segments (Fig 7 histograms
+        'only show samples when memory usage is non-zero')."""
+        return [value for _, value in self.points if value > 0]
+
+    def time_weighted_mean_nonzero(self) -> float:
+        """Mean bytes held, weighting each level by how long it lasted,
+        over the periods when usage was non-zero."""
+        total_time = 0.0
+        total_area = 0.0
+        for (t0, v0), (t1, _v1) in zip(self.points, self.points[1:]):
+            if v0 > 0:
+                total_time += t1 - t0
+                total_area += v0 * (t1 - t0)
+        if total_time == 0:
+            return 0.0
+        return total_area / total_time
+
+    def peak(self) -> float:
+        if not self.points:
+            return 0.0
+        return max(value for _, value in self.points)
+
+
+def hypothetical_memory_timelines(
+    cluster: "Cluster",
+    jobs: Sequence[JobRecord],
+    input_paths_by_job: Dict[str, Sequence[str]],
+    seed: int = 0,
+) -> Dict[str, MemoryTimeline]:
+    """Per-server memory usage had the hypothetical scheme run the jobs.
+
+    For each job, one replica of every input block (chosen with the same
+    seeded-random rule Ignem's master uses) is counted against its server
+    from job submission until job completion.
+    """
+    rng = RandomSource(seed).spawn("hypothetical")
+    events: Dict[str, List[Tuple[float, float]]] = {}
+
+    for job in jobs:
+        paths = input_paths_by_job.get(job.job_id, ())
+        for path in paths:
+            if not cluster.namenode.exists(path):
+                continue
+            for block in cluster.namenode.file_blocks(path):
+                locations = cluster.namenode.get_block_locations(block.block_id)
+                if not locations:
+                    continue
+                node = rng.choice(sorted(locations))
+                events.setdefault(node, []).append((job.submitted_at, block.nbytes))
+                events.setdefault(node, []).append((job.end, -block.nbytes))
+
+    timelines: Dict[str, MemoryTimeline] = {}
+    for node, deltas in events.items():
+        deltas.sort(key=lambda pair: pair[0])
+        points: List[Tuple[float, float]] = [(0.0, 0.0)]
+        level = 0.0
+        for time, delta in deltas:
+            level = max(0.0, level + delta)
+            points.append((time, level))
+        timelines[node] = MemoryTimeline(node=node, points=tuple(points))
+    return timelines
+
+
+def ignem_memory_timelines(cluster: "Cluster") -> Dict[str, MemoryTimeline]:
+    """Ignem's measured per-server footprint, from the slaves' timelines."""
+    if not cluster.ignem_slaves:
+        raise ValueError("cluster has no Ignem slaves")
+    return {
+        name: MemoryTimeline(node=name, points=tuple(slave.usage_timeline))
+        for name, slave in cluster.ignem_slaves.items()
+    }
+
+
+def mean_footprint(timelines: Dict[str, MemoryTimeline]) -> float:
+    """Cluster-wide mean non-zero footprint (the Fig 7 comparison)."""
+    values = [t.time_weighted_mean_nonzero() for t in timelines.values()]
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

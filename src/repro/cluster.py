@@ -1,0 +1,231 @@
+"""Cluster assembly: wire devices, DFS, scheduler, engine, and Ignem.
+
+:class:`Cluster` builds the paper's 8-server testbed (Section IV-A) — or
+any size — in one call, and exposes the three evaluation configurations:
+
+* plain HDFS (default; Ignem disabled),
+* ``enable_ignem()`` — Ignem master in the NameNode, slaves in DataNodes,
+* ``pin_all_inputs()`` — the HDFS-Inputs-in-RAM baseline (vmtouch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .core.config import IgnemConfig
+from .core.master import IgnemMaster
+from .core.slave import IgnemSlave
+from .dfs.client import DFSClient
+from .dfs.datanode import DataNode
+from .dfs.namenode import NameNode
+from .dfs.replication import ReplicationMonitor
+from .mapreduce.engine import MapReduceEngine
+from .mapreduce.spec import EngineConfig
+from .metrics.collector import MetricsCollector
+from .net.network import TEN_GBPS, Network
+from .sim.engine import Environment
+from .sim.rand import RandomSource
+from .storage.device import GB, MB
+from .storage.presets import make_hdd, make_ram, make_ssd
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Testbed shape; defaults mirror the paper's 8-server cluster."""
+
+    num_nodes: int = 8
+    slots_per_node: int = 8
+    disk_kind: str = "hdd"  # "hdd" | "ssd"
+    disk_capacity: float = 1024 * GB
+    ram_capacity: float = 128 * GB
+    heartbeat_interval: float = 3.0
+    block_size: float = 64 * MB
+    replication: int = 3
+    network_bandwidth: float = TEN_GBPS
+    #: Delay-scheduling patience (0 disables; plain Hadoop FIFO).
+    locality_wait: float = 0.0
+    seed: int = 0
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.disk_kind not in ("hdd", "ssd"):
+            raise ValueError(f"disk_kind must be 'hdd' or 'ssd', got {self.disk_kind!r}")
+
+
+class Cluster:
+    """A fully wired simulated big-data cluster."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        self.env = Environment()
+        self.rng = RandomSource(cfg.seed)
+        self.collector = MetricsCollector()
+
+        self.network = Network(self.env, bandwidth=cfg.network_bandwidth)
+        self.namenode = NameNode(
+            rng=self.rng.spawn("placement"),
+            block_size=cfg.block_size,
+            replication=cfg.replication,
+        )
+
+        # Local import to avoid a cycle (scheduler has no deps on cluster).
+        from .scheduler.node_manager import NodeManager
+        from .scheduler.resource_manager import ResourceManager
+
+        self.rm = ResourceManager(self.env, locality_wait=cfg.locality_wait)
+        self.datanodes: Dict[str, DataNode] = {}
+        stagger = cfg.heartbeat_interval / max(1, cfg.num_nodes)
+        for index in range(cfg.num_nodes):
+            name = f"node{index}"
+            self.network.add_node(name)
+            disk = (
+                make_hdd(self.env, f"hdd-{name}")
+                if cfg.disk_kind == "hdd"
+                else make_ssd(self.env, f"ssd-{name}")
+            )
+            datanode = DataNode(
+                self.env,
+                name,
+                disk=disk,
+                ram=make_ram(self.env, f"ram-{name}"),
+                cache_capacity=cfg.ram_capacity,
+                disk_capacity=cfg.disk_capacity,
+            )
+            self.namenode.register_datanode(datanode)
+            self.datanodes[name] = datanode
+            self.rm.register_node(
+                NodeManager(
+                    self.env,
+                    name,
+                    slots=cfg.slots_per_node,
+                    heartbeat_interval=cfg.heartbeat_interval,
+                    heartbeat_offset=index * stagger,
+                )
+            )
+
+        self.client = DFSClient(
+            self.env, self.namenode, self.network, rng=self.rng.spawn("client")
+        )
+        self.engine = MapReduceEngine(
+            self.env, self.client, self.rm, self.collector, cfg.engine
+        )
+
+        self.ignem_master: Optional[IgnemMaster] = None
+        self.ignem_slaves: Dict[str, IgnemSlave] = {}
+        self.replication_monitor: Optional[ReplicationMonitor] = None
+
+    # -- configurations -------------------------------------------------------------
+
+    def enable_ignem(
+        self, config: Optional[IgnemConfig] = None, ha: bool = False
+    ):
+        """Attach an Ignem master and one slave per DataNode.
+
+        With ``ha=True`` a primary/standby master pair (paper III-A5's
+        backup-master option) serves requests instead of a single master;
+        the pair is returned and also stored as :attr:`ignem_master`.
+        """
+        if self.ignem_master is not None:
+            raise RuntimeError("Ignem is already enabled on this cluster")
+        ignem_config = config or IgnemConfig()
+        if ha:
+            from .core.ha import HighAvailabilityMaster
+
+            master = HighAvailabilityMaster(
+                self.env,
+                self.namenode,
+                rng=self.rng.spawn("ignem-master"),
+                config=ignem_config,
+                collector=self.collector,
+            )
+        else:
+            master = IgnemMaster(
+                self.env,
+                self.namenode,
+                rng=self.rng.spawn("ignem-master"),
+                config=ignem_config,
+                collector=self.collector,
+            )
+        for name, datanode in self.datanodes.items():
+            slave = IgnemSlave(
+                self.env, datanode, self.rm, ignem_config, self.collector
+            )
+            master.attach_slave(slave)
+            self.ignem_slaves[name] = slave
+        self.client.ignem_master = master
+        self.ignem_master = master
+        return master
+
+    def enable_rereplication(
+        self, max_concurrent_per_source: int = 2
+    ) -> ReplicationMonitor:
+        """Attach an HDFS-style replication monitor.  Call its
+        ``handle_node_failure(node)`` (or :meth:`fail_node`) when a
+        server dies to restore replication factors."""
+        if self.replication_monitor is None:
+            self.replication_monitor = ReplicationMonitor(
+                self.env,
+                self.namenode,
+                self.network,
+                rng=self.rng.spawn("re-replication"),
+                max_concurrent_per_source=max_concurrent_per_source,
+            )
+        return self.replication_monitor
+
+    def fail_node(self, name: str) -> None:
+        """Kill a whole server: DataNode, Ignem slave, and NodeManager.
+        Triggers re-replication when the monitor is enabled."""
+        if name in self.ignem_slaves:
+            self.ignem_slaves[name].fail()
+        self.datanodes[name].fail()
+        for node_manager in self.rm.nodes():
+            if node_manager.name == name:
+                node_manager.fail()
+        if self.replication_monitor is not None:
+            self.replication_monitor.handle_node_failure(name)
+
+    def pin_all_inputs(self, paths: Optional[Sequence[str]] = None) -> None:
+        """The vmtouch baseline: lock every (or the given) input file's
+        blocks into the cache of every replica holder before the run."""
+        targets = paths if paths is not None else self.namenode.list_files()
+        for path in targets:
+            for block in self.namenode.file_blocks(path):
+                for node in self.namenode.get_block_locations(block.block_id):
+                    datanode = self.datanodes[node]
+                    datanode.cache.insert(block.block_id, block.nbytes, pinned=True)
+
+    def flush_caches(self) -> None:
+        """Drop every node's buffer cache (the paper flushes before runs)."""
+        for datanode in self.datanodes.values():
+            datanode.cache.flush_all()
+
+    # -- convenience -------------------------------------------------------------------
+
+    def run(self, until=None):
+        """Advance the simulation (see :meth:`Environment.run`)."""
+        return self.env.run(until=until)
+
+    def node_names(self) -> List[str]:
+        return sorted(self.datanodes.keys())
+
+
+def build_paper_testbed(
+    seed: int = 0,
+    ignem: bool = False,
+    ignem_config: Optional[IgnemConfig] = None,
+    engine_config: Optional[EngineConfig] = None,
+    **overrides,
+) -> Cluster:
+    """One-call construction of the paper's evaluation cluster."""
+    kwargs = dict(seed=seed)
+    if engine_config is not None:
+        kwargs["engine"] = engine_config
+    kwargs.update(overrides)
+    cluster = Cluster(ClusterConfig(**kwargs))
+    if ignem:
+        cluster.enable_ignem(ignem_config)
+    return cluster

@@ -1,0 +1,34 @@
+"""Ignem: proactive upward migration of cold data (the paper's core).
+
+The master (inside the NameNode) decides *what* migrates; slaves (inside
+the DataNodes) decide *how* and *when* — one block at a time, smallest
+job first, guarded by reference lists and the Do-not-harm rule.
+"""
+
+from .commands import EvictCommand, MigrateCommand, MigrationWorkItem
+from .config import IgnemConfig
+from .ha import HighAvailabilityMaster
+from .master import IgnemMaster
+from .policy import (
+    BenefitAware,
+    FifoOrder,
+    MigrationPolicy,
+    SmallestJobFirst,
+    make_policy,
+)
+from .slave import IgnemSlave
+
+__all__ = [
+    "BenefitAware",
+    "EvictCommand",
+    "FifoOrder",
+    "HighAvailabilityMaster",
+    "IgnemConfig",
+    "IgnemMaster",
+    "IgnemSlave",
+    "MigrateCommand",
+    "MigrationPolicy",
+    "MigrationWorkItem",
+    "SmallestJobFirst",
+    "make_policy",
+]

@@ -1,0 +1,50 @@
+"""Wire-level commands between Ignem clients, master, and slaves."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..dfs.blocks import Block
+
+
+@dataclass(frozen=True)
+class MigrationWorkItem:
+    """One block-migration order queued at a slave.
+
+    Carries everything the slave's priority policy needs: the owning
+    job's total input size and submission time (paper III-A1), plus the
+    block's position within the job's input (``order_hint``) so policies
+    can migrate from the tail of the job's scan order — mappers consume
+    from the head, so tail-first migration avoids racing the scan front
+    and wasting disk reads on blocks a task is about to read anyway.
+    """
+
+    block: Block
+    job_id: str
+    job_input_bytes: float
+    job_submitted_at: float
+    implicit_eviction: bool
+    order_hint: int = 0
+    seq: int = field(default_factory=itertools.count().__next__)
+
+    @property
+    def block_id(self) -> str:
+        return self.block.block_id
+
+
+@dataclass(frozen=True)
+class MigrateCommand:
+    """Master -> slave batch: migrate these blocks for this job."""
+
+    job_id: str
+    items: Tuple[MigrationWorkItem, ...]
+
+
+@dataclass(frozen=True)
+class EvictCommand:
+    """Master -> slave batch: drop this job's references to these blocks."""
+
+    job_id: str
+    block_ids: Tuple[str, ...]

@@ -1,0 +1,118 @@
+"""High-availability master pair (paper Section III-A5).
+
+The paper: "A backup master can also be kept active at all times, and
+have its address pre-listed in the configuration file."  This module
+implements that option: a primary and a hot standby share the slave
+topology; clients talk to the pair through :class:`HighAvailabilityMaster`,
+which routes to whichever master is alive.  On failover the slaves purge
+their reference lists to stay consistent with the standby's empty state —
+the paper's "temporary performance loss, never a correctness loss".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..dfs.namenode import NameNode
+from ..metrics.collector import MetricsCollector
+from ..sim.engine import Environment
+from ..sim.rand import RandomSource
+from .config import IgnemConfig
+from .master import IgnemMaster
+from .slave import IgnemSlave
+
+
+class HighAvailabilityMaster:
+    """A primary/standby Ignem master pair behind one client-facing API.
+
+    Failover is immediate (the standby's address is pre-listed, so there
+    is no configuration broadcast to wait for): the first request after a
+    primary failure is served by the standby.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        namenode: NameNode,
+        rng: Optional[RandomSource] = None,
+        config: Optional[IgnemConfig] = None,
+        collector: Optional[MetricsCollector] = None,
+    ):
+        rng = rng or RandomSource(0)
+        self.primary = IgnemMaster(
+            env, namenode, rng=rng.spawn("primary"), config=config, collector=collector
+        )
+        self.standby = IgnemMaster(
+            env, namenode, rng=rng.spawn("standby"), config=config, collector=collector
+        )
+        self._failovers = 0
+
+    # -- topology -------------------------------------------------------------
+
+    def attach_slave(self, slave: IgnemSlave) -> None:
+        """Register a slave with both masters (shared topology)."""
+        self.primary.attach_slave(slave)
+        self.standby.attach_slave(slave)
+
+    def slaves(self) -> List[IgnemSlave]:
+        return self.active.slaves()
+
+    # -- routing ----------------------------------------------------------------
+
+    @property
+    def active(self) -> IgnemMaster:
+        """Whichever master currently serves requests."""
+        if self.primary.alive:
+            return self.primary
+        return self.standby
+
+    @property
+    def alive(self) -> bool:
+        return self.primary.alive or self.standby.alive
+
+    @property
+    def failovers(self) -> int:
+        return self._failovers
+
+    def request_migration(
+        self,
+        paths: Sequence[str],
+        job_id: str,
+        implicit_eviction: bool = False,
+    ) -> None:
+        self.active.request_migration(
+            paths, job_id, implicit_eviction=implicit_eviction
+        )
+
+    def request_eviction(self, paths: Sequence[str], job_id: str) -> None:
+        self.active.request_eviction(paths, job_id)
+
+    # -- failure handling ----------------------------------------------------------
+
+    def fail_primary(self) -> None:
+        """Kill the primary; the standby takes over on the next request.
+
+        Slaves purge their reference lists so they are consistent with
+        the standby's empty migration state (paper III-A5) — exactly the
+        same rule as a cold master restart, but with zero unavailability
+        because the standby is already running.
+        """
+        if not self.primary.alive:
+            return
+        self.primary.fail()
+        self._failovers += 1
+        for slave in self.standby.slaves():
+            slave.purge_all(reason="failure")
+
+    def recover_primary(self) -> None:
+        """Bring the primary back as the new standby-turned-active pair.
+
+        The recovered process starts empty; since the standby carried the
+        live assignment state it simply keeps serving (no purge needed).
+        """
+        self.primary.alive = True
+        if self.standby.alive:
+            # Two live masters: the standby keeps its state; the freshly
+            # recovered primary must not serve with stale (empty) state,
+            # so swap roles — the old standby becomes the primary.
+            self.primary, self.standby = self.standby, self.primary

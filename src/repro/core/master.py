@@ -1,0 +1,169 @@
+"""IgnemMaster: determines *what* migrates, hosted in the NameNode.
+
+Clients (job submitters) send the master the list of files a job will
+soon read.  The master maps files to blocks via the NameNode, picks ONE
+replica per block uniformly at random (paper III-A2 — network bandwidth
+is plentiful, so one in-memory copy suffices), batches the resulting
+per-slave command lists, and ships them over (simulated) RPC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dfs.namenode import NameNode
+from ..metrics.collector import MetricsCollector
+from ..sim.engine import Environment
+from ..sim.rand import RandomSource
+from .commands import EvictCommand, MigrateCommand, MigrationWorkItem
+from .config import IgnemConfig
+from .slave import IgnemSlave
+
+
+class IgnemMaster:
+    """The migration coordinator."""
+
+    def __init__(
+        self,
+        env: Environment,
+        namenode: NameNode,
+        rng: Optional[RandomSource] = None,
+        config: Optional[IgnemConfig] = None,
+        collector: Optional[MetricsCollector] = None,
+    ):
+        self.env = env
+        self.namenode = namenode
+        self.rng = rng or RandomSource(0)
+        self.config = config or IgnemConfig()
+        self.collector = collector or MetricsCollector()
+        self.alive = True
+
+        self._slaves: Dict[str, IgnemSlave] = {}
+        #: (job_id, block_id) -> slave nodes chosen for its migration, so
+        #: eviction commands go exactly where the block went.
+        self._assignments: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        self.migration_requests = 0
+        self.eviction_requests = 0
+
+    # -- topology -----------------------------------------------------------------
+
+    def attach_slave(self, slave: IgnemSlave) -> None:
+        if slave.name in self._slaves:
+            raise ValueError(f"duplicate slave {slave.name!r}")
+        self._slaves[slave.name] = slave
+
+    def slave(self, node: str) -> IgnemSlave:
+        return self._slaves[node]
+
+    def slaves(self) -> List[IgnemSlave]:
+        return list(self._slaves.values())
+
+    # -- client API -----------------------------------------------------------------
+
+    def request_migration(
+        self,
+        paths: Sequence[str],
+        job_id: str,
+        implicit_eviction: bool = False,
+    ) -> None:
+        """Handle a job submitter's migrate call.
+
+        Requests to a dead master are lost (the client retries against the
+        replacement master in a real deployment; the paper accepts the
+        temporary performance loss, III-A5).
+        """
+        if not self.alive:
+            return
+        self.migration_requests += 1
+        job_input_bytes = self.namenode.total_bytes(paths)
+        submitted_at = self.env.now
+
+        batches: Dict[str, List[MigrationWorkItem]] = {}
+        order_hint = 0
+        for path in paths:
+            for block in self.namenode.file_blocks(path):
+                locations = self.namenode.get_block_locations(block.block_id)
+                usable = [node for node in locations if node in self._slaves]
+                if not usable:
+                    continue
+                key = (job_id, block.block_id)
+                previous = [
+                    node for node in self._assignments.get(key, ()) if node in usable
+                ]
+                if previous:
+                    # A duplicate migrate call (client retry) must reuse
+                    # the earlier replica choice, or the eviction would
+                    # only reach the latest choice and leak the first.
+                    chosen_nodes = previous
+                else:
+                    count = min(self.config.replicas_to_migrate, len(usable))
+                    chosen_nodes = self.rng.sample(sorted(usable), count)
+                # Eviction routing remembers every chosen holder.
+                self._assignments[key] = tuple(chosen_nodes)
+                for chosen in chosen_nodes:
+                    batches.setdefault(chosen, []).append(
+                        MigrationWorkItem(
+                            block=block,
+                            job_id=job_id,
+                            job_input_bytes=job_input_bytes,
+                            job_submitted_at=submitted_at,
+                            implicit_eviction=implicit_eviction,
+                            order_hint=order_hint,
+                        )
+                    )
+                order_hint += 1
+
+        for node, items in batches.items():
+            self._send(
+                self._slaves[node].receive_migrate,
+                MigrateCommand(job_id, tuple(items)),
+            )
+
+    def request_eviction(self, paths: Sequence[str], job_id: str) -> None:
+        """Handle a job submitter's evict call (job completed)."""
+        if not self.alive:
+            return
+        self.eviction_requests += 1
+        batches: Dict[str, List[str]] = {}
+        for path in paths:
+            if not self.namenode.exists(path):
+                continue
+            for block in self.namenode.file_blocks(path):
+                nodes = self._assignments.pop((job_id, block.block_id), ())
+                for node in nodes:
+                    if node in self._slaves:
+                        batches.setdefault(node, []).append(block.block_id)
+        for node, block_ids in batches.items():
+            self._send(
+                self._slaves[node].receive_evict,
+                EvictCommand(job_id, tuple(block_ids)),
+            )
+
+    # -- failure handling -----------------------------------------------------------
+
+    def fail(self) -> None:
+        """The master process dies; in-flight state is gone."""
+        self.alive = False
+        self._assignments.clear()
+
+    def restart(self) -> None:
+        """A replacement master starts with empty state; slaves purge
+        their reference lists to stay consistent with it (III-A5)."""
+        self.alive = True
+        for slave in self._slaves.values():
+            slave.purge_all(reason="failure")
+
+    # -- RPC ---------------------------------------------------------------------------
+
+    def _send(self, deliver, command) -> None:
+        """Ship one batched command with the configured RPC latency."""
+        latency = self.config.rpc_latency
+        if latency <= 0:
+            deliver(command)
+            return
+
+        def rpc():
+            yield self.env.timeout(latency)
+            deliver(command)
+
+        self.env.process(rpc(), name="ignem-rpc")

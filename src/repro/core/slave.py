@@ -1,0 +1,338 @@
+"""IgnemSlave: per-server migration worker inside the DataNode.
+
+Controls *how* and *when* blocks move into memory (paper Section III-A):
+
+* incoming work queues in priority order (smallest-job-first by default);
+* one block migrates at a time, at full sequential disk bandwidth;
+* migration is work-conserving — pending work never waits behind nothing;
+* per-block reference lists of job IDs govern eviction: explicit on job
+  completion, implicit on read (opt-in), plus a scheduler liveness sweep
+  under memory pressure (III-A4);
+* the *Do-not-harm* rule: when the migration buffer is full, new blocks
+  wait — migrated data is never evicted to admit them (III-A3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from ..dfs.blocks import Block
+from ..dfs.datanode import DataNode
+from ..metrics.collector import MetricsCollector
+from ..metrics.records import EvictionRecord, MemorySample, MigrationRecord
+from ..scheduler.resource_manager import ResourceManager
+from ..sim.engine import Environment
+from ..sim.events import Event
+from ..sim.resources import PriorityItem, PriorityStore
+from .commands import EvictCommand, MigrateCommand, MigrationWorkItem
+from .config import IgnemConfig
+from .policy import MigrationPolicy, make_policy
+
+
+class IgnemSlave:
+    """Migration agent co-located with one DataNode."""
+
+    def __init__(
+        self,
+        env: Environment,
+        datanode: DataNode,
+        rm: Optional[ResourceManager],
+        config: Optional[IgnemConfig] = None,
+        collector: Optional[MetricsCollector] = None,
+    ):
+        self.env = env
+        self.datanode = datanode
+        self.rm = rm
+        self.config = config or IgnemConfig()
+        self.collector = collector or MetricsCollector()
+        self.policy: MigrationPolicy = make_policy(
+            self.config.policy, self.config.reverse_within_job
+        )
+        self.name = datanode.name
+
+        self.queue: PriorityStore = PriorityStore(env)
+        self._refs: Dict[str, Set[str]] = {}
+        self._implicit_jobs: Set[str] = set()
+        self._migrated: Dict[str, float] = {}
+        self._migrated_meta: Dict[str, Tuple[float, float]] = {}
+        self.migrated_bytes = 0.0
+        #: (time, migrated_bytes) after every change — Fig 7's raw data.
+        self.usage_timeline: List[Tuple[float, float]] = [(env.now, 0.0)]
+        self._space_freed: Event = env.event()
+        self.alive = True
+
+        datanode.on_block_read = self._on_block_read
+        for index in range(self.config.migration_concurrency):
+            env.process(self._worker(), name=f"ignem-slave-{self.name}-w{index}")
+
+    # -- command intake (from the master) --------------------------------------
+
+    def receive_migrate(self, command: MigrateCommand) -> None:
+        """Queue a batch of migration work for one job."""
+        if not self.alive:
+            return
+        for item in command.items:
+            refs = self._refs.setdefault(item.block_id, set())
+            refs.add(item.job_id)
+            if item.implicit_eviction:
+                self._implicit_jobs.add(item.job_id)
+            self.queue.put(PriorityItem(self.policy.priority(item), item))
+
+    def receive_evict(self, command: EvictCommand) -> None:
+        """Drop a completed job's references (explicit eviction)."""
+        if not self.alive:
+            return
+        for block_id in command.block_ids:
+            self._remove_ref(block_id, command.job_id, reason="explicit")
+
+    # -- state queries --------------------------------------------------------------
+
+    def block_migrated(self, block_id: str) -> bool:
+        return block_id in self._migrated
+
+    def reference_list(self, block_id: str) -> Set[str]:
+        return set(self._refs.get(block_id, ()))
+
+    def reference_count(self) -> int:
+        """Total job references across all blocks (leak detector)."""
+        return sum(len(refs) for refs in self._refs.values())
+
+    @property
+    def pending_migrations(self) -> int:
+        return len(self.queue.items)
+
+    # -- failure handling --------------------------------------------------------------
+
+    def purge_all(self, reason: str = "failure") -> None:
+        """Drop every reference list and migrated block.
+
+        Used when the master fails (slaves reset to match the new
+        master's empty state, paper III-A5) and on slave restart.
+        """
+        for block_id in list(self._migrated.keys()):
+            self._release_block(block_id, reason=reason)
+        self._refs.clear()
+        self._implicit_jobs.clear()
+        self.queue.remove(lambda _entry: True)
+
+    def fail(self) -> None:
+        """Kill the slave process; the OS reclaims all pinned memory."""
+        self.alive = False
+        self.purge_all(reason="failure")
+
+    def restart(self) -> None:
+        """Restart on the same server; comes back with empty state."""
+        self.alive = True
+
+    # -- migration worker -------------------------------------------------------------
+
+    def _worker(self):
+        while True:
+            entry = yield self.queue.get()
+            yield from self._handle(entry.item)
+
+    def _handle(self, item: MigrationWorkItem):
+        block = item.block
+        block_id = item.block_id
+        enqueued_at = item_enqueued = self.env.now
+
+        refs = self._refs.get(block_id)
+        if not refs or item.job_id not in refs:
+            # Every interested job finished or already read the block from
+            # disk while the work queued — migrating now would be waste.
+            self._record_migration(item, enqueued_at, outcome="skipped")
+            return
+
+        if block_id in self._migrated:
+            return  # another job's command already migrated it
+
+        # Capacity gate (paper III-B2): wait for space, never evict
+        # not-yet-read blocks to make room (Do-not-harm, III-A3) — unless
+        # the ablation config allows preempting blocks of later jobs.
+        while (
+            self.migrated_bytes + block.nbytes > self.config.buffer_capacity
+        ):
+            self._maybe_cleanup_dead_jobs()
+            if self.migrated_bytes + block.nbytes <= self.config.buffer_capacity:
+                break
+            if not self.config.do_not_harm and self._evict_victim(item):
+                continue
+            yield self._wait_for_space()
+            refs = self._refs.get(block_id)
+            if not refs:
+                self._record_migration(item, enqueued_at, outcome="skipped")
+                return
+
+        refs = self._refs.get(block_id)
+        if not refs:
+            self._record_migration(item, enqueued_at, outcome="skipped")
+            return
+        if block_id in self._migrated:
+            return
+
+        # Optional Aqueduct-style throttle: hold off while the disk is
+        # already serving many foreground streams, bounding migration's
+        # impact on foreground reads (IgnemConfig.busy_threshold).
+        if self.config.busy_threshold is not None:
+            while (
+                self.datanode.alive
+                and self.datanode.disk.active_transfers >= self.config.busy_threshold
+            ):
+                yield self.env.timeout(self.config.busy_poll_interval)
+                if not self._refs.get(block_id):
+                    self._record_migration(item, enqueued_at, outcome="skipped")
+                    return
+
+        start = self.env.now
+        if not self.datanode.alive:
+            self._record_migration(item, enqueued_at, outcome="cancelled")
+            return
+        yield self.datanode.migrate_block_to_memory(
+            block, rate_cap=self.config.migration_read_rate
+        )
+
+        # Reads may have raced with the migration and emptied the list.
+        if not self._refs.get(block_id):
+            self.datanode.evict_block_from_memory(block_id)
+            self._record_migration(item, enqueued_at, outcome="cancelled")
+            return
+
+        self._migrated[block_id] = block.nbytes
+        self._migrated_meta[block_id] = (
+            item.job_input_bytes,
+            item.job_submitted_at,
+        )
+        self._account(block.nbytes)
+        self.collector.record_migration(
+            MigrationRecord(
+                job_id=item.job_id,
+                block_id=block_id,
+                node=self.name,
+                nbytes=block.nbytes,
+                enqueued_at=enqueued_at,
+                start=start,
+                end=self.env.now,
+                outcome="completed",
+            )
+        )
+
+    # -- reference lists & eviction -----------------------------------------------------
+
+    def _on_block_read(self, block: Block, job_id: Optional[str]) -> None:
+        """DataNode read-path hook: implicit eviction (paper III-B2)."""
+        if job_id is None or job_id not in self._implicit_jobs:
+            return
+        self._remove_ref(block.block_id, job_id, reason="implicit")
+
+    def _remove_ref(self, block_id: str, job_id: str, reason: str) -> None:
+        refs = self._refs.get(block_id)
+        if refs is None or job_id not in refs:
+            return
+        refs.discard(job_id)
+        if not refs:
+            del self._refs[block_id]
+            self._release_block(block_id, reason=reason)
+
+    def _release_block(self, block_id: str, reason: str) -> None:
+        nbytes = self._migrated.pop(block_id, None)
+        self._migrated_meta.pop(block_id, None)
+        if nbytes is None:
+            return
+        self.datanode.evict_block_from_memory(block_id)
+        self._account(-nbytes)
+        self.collector.record_eviction(
+            EvictionRecord(
+                block_id=block_id,
+                node=self.name,
+                nbytes=nbytes,
+                time=self.env.now,
+                reason=reason,
+            )
+        )
+        self._signal_space()
+
+    def _maybe_cleanup_dead_jobs(self) -> None:
+        """Liveness sweep under memory pressure (paper III-A4)."""
+        if self.rm is None:
+            return
+        occupancy = self.migrated_bytes / self.config.buffer_capacity
+        if occupancy < self.config.cleanup_threshold:
+            return
+        dead_jobs = {
+            job_id
+            for refs in self._refs.values()
+            for job_id in refs
+            if not self.rm.job_active(job_id)
+        }
+        for job_id in dead_jobs:
+            for block_id in [
+                bid for bid, refs in self._refs.items() if job_id in refs
+            ]:
+                self._remove_ref(block_id, job_id, reason="cleanup")
+
+    def _evict_victim(self, incoming: MigrationWorkItem) -> bool:
+        """Ablation path (do_not_harm=False): evict the migrated block of
+        the largest / latest job to admit the incoming block.  Never evicts
+        blocks belonging to jobs smaller than the incoming one — that would
+        be strictly harmful even under the aggressive policy."""
+        candidates = [
+            (meta, block_id)
+            for block_id, meta in self._migrated_meta.items()
+            if meta > (incoming.job_input_bytes, incoming.job_submitted_at)
+        ]
+        if not candidates:
+            return False
+        _, victim = max(candidates)
+        for job_id in list(self._refs.get(victim, ())):
+            self._refs[victim].discard(job_id)
+        self._refs.pop(victim, None)
+        self._release_block(victim, reason="preempted")
+        return True
+
+    def _wait_for_space(self) -> Event:
+        if self._space_freed.triggered:
+            self._space_freed = self.env.event()
+        return self._space_freed
+
+    def _signal_space(self) -> None:
+        if not self._space_freed.triggered:
+            self._space_freed.succeed()
+
+    # -- accounting ----------------------------------------------------------------------
+
+    def _account(self, delta: float) -> None:
+        self.migrated_bytes += delta
+        if self.migrated_bytes < 0:
+            # Fractional final blocks make the +/- sums float-inexact;
+            # clamp the sub-byte residue but treat real negatives as bugs.
+            if self.migrated_bytes < -1.0:
+                raise AssertionError(
+                    f"negative migrated_bytes on {self.name}: {self.migrated_bytes}"
+                )
+            self.migrated_bytes = 0.0
+        self.usage_timeline.append((self.env.now, self.migrated_bytes))
+        self.collector.record_memory_sample(
+            MemorySample(self.name, self.env.now, self.migrated_bytes)
+        )
+
+    def _record_migration(
+        self, item: MigrationWorkItem, enqueued_at: float, outcome: str
+    ) -> None:
+        self.collector.record_migration(
+            MigrationRecord(
+                job_id=item.job_id,
+                block_id=item.block_id,
+                node=self.name,
+                nbytes=item.block.nbytes,
+                enqueued_at=enqueued_at,
+                start=self.env.now,
+                end=self.env.now,
+                outcome=outcome,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<IgnemSlave {self.name} migrated={len(self._migrated)} "
+            f"pending={self.pending_migrations}>"
+        )

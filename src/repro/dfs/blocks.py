@@ -1,0 +1,73 @@
+"""Block-level data model for the distributed file system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..storage.device import MB
+
+#: Default block size used across the paper's evaluation (Section II-B).
+DEFAULT_BLOCK_SIZE = 64 * MB
+
+
+@dataclass(frozen=True)
+class Block:
+    """One immutable chunk of a DFS file."""
+
+    block_id: str
+    path: str
+    index: int
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"block size must be non-negative, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class FileMetadata:
+    """Namespace entry: a path plus its ordered blocks.
+
+    ``replication`` records the per-file target replication factor (HDFS
+    files carry their own; job outputs often use 1 while inputs use 3).
+    """
+
+    path: str
+    blocks: Tuple[Block, ...]
+    replication: int = 3
+
+    @property
+    def nbytes(self) -> float:
+        return sum(block.nbytes for block in self.blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+
+def split_into_blocks(
+    path: str, nbytes: float, block_size: float = DEFAULT_BLOCK_SIZE
+) -> List[Block]:
+    """Partition a file of ``nbytes`` into fixed-size blocks.
+
+    The final block holds the remainder; zero-byte files get one empty
+    block so every file has at least one block (mirrors HDFS semantics
+    closely enough for scheduling purposes).
+    """
+    if nbytes < 0:
+        raise ValueError(f"file size must be non-negative, got {nbytes}")
+    if block_size <= 0:
+        raise ValueError(f"block size must be positive, got {block_size}")
+
+    blocks: List[Block] = []
+    remaining = float(nbytes)
+    index = 0
+    while remaining > 0:
+        size = min(block_size, remaining)
+        blocks.append(Block(f"{path}#blk{index}", path, index, size))
+        remaining -= size
+        index += 1
+    if not blocks:
+        blocks.append(Block(f"{path}#blk0", path, 0, 0.0))
+    return blocks

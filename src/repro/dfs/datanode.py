@@ -1,0 +1,217 @@
+"""DataNode: block storage on one server.
+
+Each DataNode owns a disk device (HDD or SSD), a RAM device for page-cache
+reads, and a :class:`~repro.storage.BufferCache`.  The Ignem slave (when
+enabled) lives inside the DataNode exactly as the paper implements it
+inside the HDFS DataNode process, and hooks the read path for implicit
+eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from ..sim.engine import Environment
+from ..sim.events import Event
+from ..storage.buffer_cache import BufferCache
+from ..storage.device import GB, TransferDevice
+from ..storage.presets import make_hdd, make_ram
+from .blocks import Block
+
+
+class DataNodeError(Exception):
+    """Raised for invalid operations on a DataNode (e.g. reading a block
+    it does not store, or any operation while the node is down)."""
+
+
+class DataNode:
+    """One storage server in the cluster.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Server name (also the network node name).
+    disk:
+        Backing disk device; defaults to the calibrated HDD preset.
+    ram:
+        RAM device serving cache hits; defaults to the RAM preset.
+    cache_capacity:
+        Buffer-cache capacity in bytes (the paper's servers have 128GB).
+    cache_reads:
+        Whether plain disk reads populate the (unpinned) cache.  Disabled
+        by default: the paper's workloads read singly-accessed cold data
+        and all runs start with flushed caches.
+    disk_capacity:
+        Disk capacity in bytes (the paper's servers have a 1TB HDD).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        disk: Optional[TransferDevice] = None,
+        ram: Optional[TransferDevice] = None,
+        cache_capacity: float = 128 * GB,
+        cache_reads: bool = False,
+        disk_capacity: float = 1024 * GB,
+    ):
+        if disk_capacity <= 0:
+            raise ValueError("disk_capacity must be positive")
+        self.env = env
+        self.name = name
+        self.disk_capacity = float(disk_capacity)
+        self.disk_used = 0.0
+        self.disk = disk if disk is not None else make_hdd(env, f"hdd-{name}")
+        self.ram = ram if ram is not None else make_ram(env, f"ram-{name}")
+        self.cache = BufferCache(env, capacity=cache_capacity, flush_device=self.disk)
+        self.cache_reads = cache_reads
+        self.alive = True
+
+        self._blocks: Dict[str, Block] = {}
+        #: Read-path hook: called with (block, job_id) after each block
+        #: read served by this node.  Ignem's slave uses it for implicit
+        #: eviction; HDFS read calls carry the job ID (paper III-B2).
+        self.on_block_read: Optional[Callable[[Block, Optional[str]], None]] = None
+
+    # -- block placement ----------------------------------------------------
+
+    def has_capacity(self, nbytes: float) -> bool:
+        """Whether the disk can take ``nbytes`` more."""
+        return self.disk_used + nbytes <= self.disk_capacity
+
+    def store_block(self, block: Block) -> None:
+        """Place a replica of ``block`` on this node's disk (no IO cost;
+        dataset generation happens before the measured run)."""
+        self._ensure_alive()
+        if block.block_id in self._blocks:
+            return
+        if not self.has_capacity(block.nbytes):
+            raise DataNodeError(f"{self.name} is out of disk space")
+        self.disk_used += block.nbytes
+        self._blocks[block.block_id] = block
+
+    def has_block(self, block_id: str) -> bool:
+        return self.alive and block_id in self._blocks
+
+    def stored_blocks(self) -> Set[str]:
+        return set(self._blocks.keys())
+
+    def drop_block(self, block_id: str) -> None:
+        dropped = self._blocks.pop(block_id, None)
+        if dropped is not None:
+            self.disk_used = max(0.0, self.disk_used - dropped.nbytes)
+        self.cache.evict(block_id)
+
+    # -- read / write paths ----------------------------------------------------
+
+    def block_in_memory(self, block_id: str) -> bool:
+        """Whether a read of ``block_id`` would be served from RAM."""
+        return self.alive and self.cache.peek(block_id)
+
+    def read_block(self, block: Block, job_id: Optional[str] = None) -> "ReadHandle":
+        """Serve a block read; returns a handle with the done event and
+        the medium ('ram' or the disk device kind) that served it."""
+        self._ensure_alive()
+        if block.block_id not in self._blocks:
+            raise DataNodeError(f"{self.name} does not store {block.block_id}")
+
+        if self.cache.contains(block.block_id):
+            source = "ram"
+            done = self.ram.transfer(block.nbytes, tag=("read", block.block_id))
+        else:
+            source = self._disk_kind()
+            done = self.disk.transfer(block.nbytes, tag=("read", block.block_id))
+            if self.cache_reads:
+                self.cache.insert(block.block_id, block.nbytes, pinned=False)
+
+        if self.on_block_read is not None:
+            hook = self.on_block_read
+            done.callbacks.append(lambda _event: hook(block, job_id))
+        return ReadHandle(done=done, source=source, node=self.name)
+
+    def write_block(self, block: Block) -> Event:
+        """Write a new block: absorbed by the buffer cache (write-back)."""
+        self._ensure_alive()
+        if block.block_id not in self._blocks:
+            if not self.has_capacity(block.nbytes):
+                raise DataNodeError(f"{self.name} is out of disk space")
+            self.disk_used += block.nbytes
+            self._blocks[block.block_id] = block
+        self.cache.write_absorb(block.block_id, block.nbytes)
+        done = Event(self.env)
+        done.succeed(None)
+        return done
+
+    # -- migration support (used by the Ignem slave) ---------------------------
+
+    def migrate_block_to_memory(
+        self, block: Block, rate_cap: Optional[float] = None
+    ) -> Event:
+        """Read a block sequentially from disk and pin it in the cache.
+
+        This is the mmap+mlock path of paper Section III-B1: the data
+        lands in the OS buffer cache, locked against page-out.  The
+        page-fault-driven read path is self-limited well below raw disk
+        bandwidth, which ``rate_cap`` models; the slack stays available
+        to foreground readers.  The returned event fires when the block
+        is fully resident.
+        """
+        self._ensure_alive()
+        if block.block_id not in self._blocks:
+            raise DataNodeError(f"{self.name} does not store {block.block_id}")
+        if self.cache.peek(block.block_id):
+            self.cache.pin(block.block_id)
+            done = Event(self.env)
+            done.succeed(None)
+            return done
+        done = self.disk.transfer(
+            block.nbytes, tag=("migrate", block.block_id), rate_cap=rate_cap
+        )
+        done.callbacks.append(
+            lambda _event: self.cache.insert(block.block_id, block.nbytes, pinned=True)
+        )
+        return done
+
+    def evict_block_from_memory(self, block_id: str) -> bool:
+        """munmap: release a pinned block (no write-back — input data is
+        read-only, paper Section III-B1)."""
+        return self.cache.evict(block_id)
+
+    # -- failure handling ---------------------------------------------------------
+
+    def fail(self) -> None:
+        """Kill the DataNode process: all in-memory state is lost (the OS
+        reclaims the slave's mapped pages, paper III-A5)."""
+        self.alive = False
+        self.cache.flush_all()
+
+    def restart(self) -> None:
+        """Restart the process on the same server; disk blocks survive."""
+        self.alive = True
+
+    def _ensure_alive(self) -> None:
+        if not self.alive:
+            raise DataNodeError(f"DataNode {self.name} is down")
+
+    def _disk_kind(self) -> str:
+        name = self.disk.name.lower()
+        if "ssd" in name:
+            return "ssd"
+        return "hdd"
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "DOWN"
+        return f"<DataNode {self.name} {status} blocks={len(self._blocks)}>"
+
+
+class ReadHandle:
+    """Result of :meth:`DataNode.read_block`."""
+
+    __slots__ = ("done", "source", "node")
+
+    def __init__(self, done: Event, source: str, node: str):
+        self.done = done
+        self.source = source
+        self.node = node

@@ -1,0 +1,173 @@
+"""NameNode: the DFS master holding the namespace and block map.
+
+Maps files to blocks and blocks to DataNodes, performs replica placement,
+and tracks node liveness.  The Ignem master is hosted inside this process
+(paper Section III-B) and queries it for block locations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.rand import RandomSource
+from .blocks import DEFAULT_BLOCK_SIZE, Block, FileMetadata, split_into_blocks
+from .datanode import DataNode
+
+
+class NameNodeError(Exception):
+    """Namespace or placement errors (missing paths, no live nodes...)."""
+
+
+class NameNode:
+    """The file-system master.
+
+    Placement policy: replicas go to distinct live nodes chosen uniformly
+    at random (with an optional preferred first node, mirroring HDFS's
+    writer-local first replica).
+    """
+
+    def __init__(
+        self,
+        rng: Optional[RandomSource] = None,
+        block_size: float = DEFAULT_BLOCK_SIZE,
+        replication: int = 3,
+    ):
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.block_size = float(block_size)
+        self.replication = replication
+        self.rng = rng or RandomSource(0)
+
+        self._datanodes: Dict[str, DataNode] = {}
+        self._namespace: Dict[str, FileMetadata] = {}
+        self._locations: Dict[str, List[str]] = {}
+
+    # -- cluster membership ----------------------------------------------------
+
+    def register_datanode(self, datanode: DataNode) -> None:
+        if datanode.name in self._datanodes:
+            raise NameNodeError(f"duplicate DataNode name {datanode.name!r}")
+        self._datanodes[datanode.name] = datanode
+
+    def datanode(self, name: str) -> DataNode:
+        if name not in self._datanodes:
+            raise NameNodeError(f"unknown DataNode {name!r}")
+        return self._datanodes[name]
+
+    def datanodes(self) -> List[DataNode]:
+        return list(self._datanodes.values())
+
+    def live_datanodes(self) -> List[DataNode]:
+        return [dn for dn in self._datanodes.values() if dn.alive]
+
+    def remove_datanode(self, name: str) -> None:
+        """Drop a dead server from the namespace map (paper III-A5): its
+        replica locations disappear from every block's location list."""
+        self._datanodes.pop(name, None)
+        for block_id, nodes in self._locations.items():
+            if name in nodes:
+                nodes.remove(name)
+
+    # -- namespace operations ------------------------------------------------------
+
+    def create_file(
+        self,
+        path: str,
+        nbytes: float,
+        replication: Optional[int] = None,
+        preferred_node: Optional[str] = None,
+        materialize: bool = True,
+    ) -> FileMetadata:
+        """Create ``path`` with ``nbytes`` of data and place its blocks.
+
+        With ``materialize=True`` block replicas appear directly on the
+        chosen DataNodes' disks at no IO cost (dataset generation happens
+        before the measured run, as in the paper's setup).
+        """
+        if path in self._namespace:
+            raise NameNodeError(f"path already exists: {path!r}")
+        replication = replication or self.replication
+        live = self.live_datanodes()
+        if len(live) == 0:
+            raise NameNodeError("no live DataNodes")
+        replication = min(replication, len(live))
+
+        blocks = split_into_blocks(path, nbytes, self.block_size)
+        metadata = FileMetadata(path, tuple(blocks), replication=replication)
+        self._namespace[path] = metadata
+
+        for block in blocks:
+            nodes = self._place_replicas(
+                live, replication, preferred_node, block.nbytes
+            )
+            if not nodes:
+                # Roll back the namespace entry: nothing fits anywhere.
+                del self._namespace[path]
+                for placed in blocks:
+                    self._locations.pop(placed.block_id, None)
+                raise NameNodeError(
+                    f"no DataNode has capacity for a block of {path!r}"
+                )
+            self._locations[block.block_id] = nodes
+            if materialize:
+                for node in nodes:
+                    self._datanodes[node].store_block(block)
+        return metadata
+
+    def delete_file(self, path: str) -> None:
+        metadata = self._namespace.pop(path, None)
+        if metadata is None:
+            raise NameNodeError(f"no such path: {path!r}")
+        for block in metadata.blocks:
+            nodes = self._locations.pop(block.block_id, [])
+            for node in nodes:
+                datanode = self._datanodes.get(node)
+                if datanode is not None:
+                    datanode.drop_block(block.block_id)
+
+    def exists(self, path: str) -> bool:
+        return path in self._namespace
+
+    def get_file(self, path: str) -> FileMetadata:
+        if path not in self._namespace:
+            raise NameNodeError(f"no such path: {path!r}")
+        return self._namespace[path]
+
+    def list_files(self) -> List[str]:
+        return sorted(self._namespace.keys())
+
+    def get_block_locations(self, block_id: str) -> List[str]:
+        """Live replica locations for a block (dead nodes filtered out)."""
+        nodes = self._locations.get(block_id)
+        if nodes is None:
+            raise NameNodeError(f"unknown block {block_id!r}")
+        return [
+            node
+            for node in nodes
+            if node in self._datanodes and self._datanodes[node].alive
+        ]
+
+    def file_blocks(self, path: str) -> Sequence[Block]:
+        return self.get_file(path).blocks
+
+    def total_bytes(self, paths: Sequence[str]) -> float:
+        return sum(self.get_file(path).nbytes for path in paths)
+
+    # -- placement -----------------------------------------------------------------
+
+    def _place_replicas(
+        self,
+        live: List[DataNode],
+        replication: int,
+        preferred_node: Optional[str],
+        nbytes: float = 0.0,
+    ) -> List[str]:
+        names = [dn.name for dn in live if dn.has_capacity(nbytes)]
+        chosen: List[str] = []
+        if preferred_node is not None and preferred_node in names:
+            chosen.append(preferred_node)
+        remaining = [name for name in names if name not in chosen]
+        needed = replication - len(chosen)
+        if needed > 0:
+            chosen.extend(self.rng.sample(remaining, min(needed, len(remaining))))
+        return chosen

@@ -1,0 +1,142 @@
+"""Re-replication of under-replicated blocks after DataNode failures.
+
+Real HDFS restores the replication factor when a DataNode dies: the
+NameNode schedules copies from surviving replica holders to other live
+nodes.  The paper leans on this (Section III-A5: after a server failure
+"the file system removes the server from the namespace map" and Ignem
+simply sees the updated replica locations) — this module supplies the
+restore half so long-running simulated clusters keep their fault
+tolerance.
+
+Copies move real bytes: a disk read on the source, a network transfer,
+and a buffered write on the destination, capped at a configurable number
+of concurrent copies per source node (HDFS throttles re-replication for
+the same reason Ignem migrates one block at a time).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from ..net.network import Network
+from ..sim.engine import Environment
+from ..sim.rand import RandomSource
+from .blocks import Block
+from .namenode import NameNode
+
+
+class ReplicationMonitor:
+    """Restores replication factors after node failures.
+
+    Event-driven rather than scan-based so an idle simulation can drain:
+    call :meth:`handle_node_failure` when a DataNode dies (the cluster
+    wires this automatically when the monitor is enabled).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        namenode: NameNode,
+        network: Network,
+        rng: Optional[RandomSource] = None,
+        max_concurrent_per_source: int = 2,
+    ):
+        if max_concurrent_per_source < 1:
+            raise ValueError("max_concurrent_per_source must be >= 1")
+        self.env = env
+        self.namenode = namenode
+        self.network = network
+        self.rng = rng or RandomSource(0)
+        self.max_concurrent_per_source = max_concurrent_per_source
+
+        self.copies_completed = 0
+        self.copies_failed = 0
+        self._active_by_source: Dict[str, int] = {}
+
+    # -- public API --------------------------------------------------------------
+
+    def under_replicated_blocks(self) -> List[Block]:
+        """All blocks whose live replica count is below the target."""
+        result: List[Block] = []
+        live_nodes = len(self.namenode.live_datanodes())
+        for path in self.namenode.list_files():
+            metadata = self.namenode.get_file(path)
+            target = min(metadata.replication, live_nodes)
+            for block in metadata.blocks:
+                live = self.namenode.get_block_locations(block.block_id)
+                if 0 < len(live) < target:
+                    result.append(block)
+        return result
+
+    def missing_blocks(self) -> List[Block]:
+        """Blocks with zero live replicas (data loss)."""
+        result: List[Block] = []
+        for path in self.namenode.list_files():
+            for block in self.namenode.get_file(path).blocks:
+                if not self.namenode.get_block_locations(block.block_id):
+                    result.append(block)
+        return result
+
+    def handle_node_failure(self, node_name: str) -> int:
+        """Schedule re-replication for every block the dead node held.
+
+        Returns the number of copy tasks scheduled.  Blocks with no
+        surviving replica are unrecoverable (counted in
+        :attr:`copies_failed`).
+        """
+        self.copies_failed += len(self.missing_blocks())
+        scheduled = 0
+        for block in self.under_replicated_blocks():
+            sources = self.namenode.get_block_locations(block.block_id)
+            if not sources:
+                self.copies_failed += 1
+                continue
+            target = self._pick_target(block)
+            if target is None:
+                continue
+            source = self.rng.choice(sorted(sources))
+            self.env.process(
+                self._copy(block, source, target),
+                name=f"re-replicate-{block.block_id}",
+            )
+            scheduled += 1
+        return scheduled
+
+    # -- internals -------------------------------------------------------------------
+
+    def _pick_target(self, block: Block) -> Optional[str]:
+        holders: Set[str] = set(self.namenode.get_block_locations(block.block_id))
+        candidates = [
+            dn.name for dn in self.namenode.live_datanodes() if dn.name not in holders
+        ]
+        if not candidates:
+            return None
+        return self.rng.choice(sorted(candidates))
+
+    def _copy(self, block: Block, source: str, target: str):
+        # Per-source concurrency cap: wait politely.
+        while self._active_by_source.get(source, 0) >= self.max_concurrent_per_source:
+            yield self.env.timeout(0.5)
+        self._active_by_source[source] = self._active_by_source.get(source, 0) + 1
+        try:
+            source_dn = self.namenode.datanode(source)
+            target_dn = self.namenode.datanode(target)
+            if not (source_dn.alive and target_dn.alive):
+                self.copies_failed += 1
+                return
+            read = source_dn.read_block(block)
+            yield read.done
+            yield self.network.transfer(
+                source, target, block.nbytes, tag=("re-replicate", block.block_id)
+            )
+            if not target_dn.alive:
+                self.copies_failed += 1
+                return
+            yield target_dn.write_block(block)
+            # Register the new location with the namespace map.
+            locations = self.namenode._locations.get(block.block_id)
+            if locations is not None and target not in locations:
+                locations.append(target)
+            self.copies_completed += 1
+        finally:
+            self._active_by_source[source] -= 1

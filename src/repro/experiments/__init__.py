@@ -1,0 +1,79 @@
+"""Experiment runners — one per table and figure in the paper.
+
+========== =========================================== =======================
+Experiment Paper result                                Runner
+========== =========================================== =======================
+Fig 1      RAM reads 160x faster than HDD, 7x vs SSD   run_block_read_study
+Fig 2      mapper runtimes 23x faster from RAM         run_block_read_study
+Fig 3      81% of Google jobs have enough lead-time    run_leadtime_study
+Fig 4      disk utilization ~3%, abundant residual bw  run_utilization_study
+Table I    SWIM job duration 14.4/12.7/11.4s           table1_job_duration
+Fig 5      speedup by size bin (8.8/7.7/25%)           fig5_size_bins
+Table II   SWIM mapper duration 6.44/4.03/0.28s        table2_task_duration
+Fig 6      40% block-read reduction, 60% migrated      fig6_block_read_cdf
+Fig 7      2.6x lower memory footprint                 fig7_memory_footprint
+IV-C5      prioritization worth ~15% of the benefit    ablation_priority
+Table III  sort 147/114/75s                            table3_sort
+Fig 8      wordcount sweep + Ignem+10s crossover       fig8_wordcount_sweep
+Fig 9      Hive queries up to 34%, mean 20%            fig9_hive_study
+========== =========================================== =======================
+"""
+
+from .common import ComparisonRow, ComparisonTable, make_comparison
+from .fig1_fig2_block_reads import BlockReadStudy, MediumResult, run_block_read_study
+from .fig3_fig4_google_trace import (
+    LeadTimeStudy,
+    UtilizationStudy,
+    run_leadtime_study,
+    run_utilization_study,
+)
+from .fig8_wordcount import WordcountSweep, fig8_wordcount_sweep, run_wordcount_point
+from .fig9_hive import HiveStudy, fig9_hive_study, run_query_once
+from .swim_runs import SwimRun, clear_cache, run_swim
+from .swim_tables import (
+    BlockReadCdfResult,
+    MemoryFootprintResult,
+    PriorityAblationResult,
+    SizeBinResult,
+    ablation_priority,
+    fig5_size_bins,
+    fig6_block_read_cdf,
+    fig7_memory_footprint,
+    table1_job_duration,
+    table2_task_duration,
+)
+from .table3_sort import run_sort_once, table3_sort
+
+__all__ = [
+    "BlockReadCdfResult",
+    "BlockReadStudy",
+    "ComparisonRow",
+    "ComparisonTable",
+    "HiveStudy",
+    "LeadTimeStudy",
+    "MediumResult",
+    "MemoryFootprintResult",
+    "PriorityAblationResult",
+    "SizeBinResult",
+    "SwimRun",
+    "UtilizationStudy",
+    "WordcountSweep",
+    "ablation_priority",
+    "clear_cache",
+    "fig5_size_bins",
+    "fig6_block_read_cdf",
+    "fig7_memory_footprint",
+    "fig8_wordcount_sweep",
+    "fig9_hive_study",
+    "make_comparison",
+    "run_block_read_study",
+    "run_leadtime_study",
+    "run_query_once",
+    "run_sort_once",
+    "run_swim",
+    "run_utilization_study",
+    "run_wordcount_point",
+    "table1_job_duration",
+    "table2_task_duration",
+    "table3_sort",
+]

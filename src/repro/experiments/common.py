@@ -1,0 +1,97 @@
+"""Shared experiment plumbing: configurations, result formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.stats import speedup
+
+#: The paper's three file-system configurations (Section IV-A).
+MODES = ("hdfs", "ignem", "ram")
+
+MODE_LABELS = {
+    "hdfs": "HDFS",
+    "ignem": "Ignem",
+    "ram": "HDFS-Inputs-in-RAM",
+}
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One mode's absolute number plus its speedup over the HDFS baseline."""
+
+    mode: str
+    value: float
+    baseline: float
+
+    @property
+    def label(self) -> str:
+        return MODE_LABELS.get(self.mode, self.mode)
+
+    @property
+    def speedup_vs_hdfs(self) -> float:
+        if self.mode == "hdfs":
+            return 0.0
+        return speedup(self.baseline, self.value)
+
+
+@dataclass(frozen=True)
+class ComparisonTable:
+    """A Table I/II/III-style comparison across the three modes."""
+
+    title: str
+    unit: str
+    rows: Tuple[ComparisonRow, ...]
+    paper_values: Dict[str, float] = field(default_factory=dict)
+
+    def value(self, mode: str) -> float:
+        for row in self.rows:
+            if row.mode == mode:
+                return row.value
+        raise KeyError(f"no row for mode {mode!r}")
+
+    def speedup(self, mode: str) -> float:
+        for row in self.rows:
+            if row.mode == mode:
+                return row.speedup_vs_hdfs
+        raise KeyError(f"no row for mode {mode!r}")
+
+    def fraction_of_upper_bound(self) -> float:
+        """How much of the inputs-in-RAM benefit Ignem realizes (the
+        paper's '60% of the upper bound')."""
+        ram_gain = self.speedup("ram")
+        if ram_gain <= 0:
+            return 0.0
+        return self.speedup("ignem") / ram_gain
+
+    def format(self) -> str:
+        lines = [self.title, "=" * len(self.title)]
+        header = f"{'Configuration':<22} {'Measured ' + self.unit:>14} {'Speedup':>9}"
+        if self.paper_values:
+            header += f" {'Paper ' + self.unit:>12}"
+        lines.append(header)
+        for row in self.rows:
+            line = f"{row.label:<22} {row.value:>14.2f} {row.speedup_vs_hdfs:>8.1%}"
+            if self.paper_values:
+                paper = self.paper_values.get(row.mode)
+                line += f" {paper:>12.2f}" if paper is not None else f" {'-':>12}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def make_comparison(
+    title: str,
+    unit: str,
+    values: Dict[str, float],
+    paper_values: Optional[Dict[str, float]] = None,
+) -> ComparisonTable:
+    baseline = values["hdfs"]
+    rows = tuple(
+        ComparisonRow(mode=mode, value=values[mode], baseline=baseline)
+        for mode in MODES
+        if mode in values
+    )
+    return ComparisonTable(
+        title=title, unit=unit, rows=rows, paper_values=paper_values or {}
+    )

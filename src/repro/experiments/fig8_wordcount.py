@@ -1,0 +1,148 @@
+"""Figure 8: wordcount vs input size, and the Ignem+10s lead-time study
+(paper Sections IV-E and IV-F).
+
+The sweep runs wordcount at increasing input sizes under four
+configurations: HDFS, Ignem, Ignem with 10 extra seconds of artificial
+lead-time (the submitter sleeps after the migrate call; the sleep counts
+toward job duration), and HDFS-Inputs-in-RAM.
+
+Expected shape (paper):
+* Ignem matches HDFS-Inputs-in-RAM while the whole input fits in the
+  lead-time, then its relative benefit decays;
+* Ignem+10s loses badly at small sizes (the sleep dominates), crosses
+  below plain HDFS as inputs grow, and eventually beats plain Ignem —
+  adding delay speeds up the job, because the extra lead-time lets Ignem
+  read sequentially at full disk efficiency instead of the job's
+  concurrent mappers thrashing the disk.
+
+Our calibration reproduces every one of those features; the crossovers
+sit at larger inputs than the paper's 2GB/4GB because our simulated
+mmap/mlock migration path runs at full sequential disk bandwidth, while
+the authors' measured one was ~5x slower (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import build_paper_testbed
+from ..core.config import IgnemConfig
+from ..workloads.wordcount import DEFAULT_SIZES_GB, make_wordcount_spec, materialize
+
+#: The four Fig 8 configurations.
+VARIANTS = ("hdfs", "ignem", "ignem+10s", "ram")
+
+
+@dataclass(frozen=True)
+class WordcountPoint:
+    """One (input size, variant) measurement."""
+
+    input_gb: float
+    variant: str
+    duration: float
+
+
+@dataclass(frozen=True)
+class WordcountSweep:
+    """Fig 8 outcome: durations across the size sweep."""
+
+    points: Tuple[WordcountPoint, ...]
+
+    def duration(self, input_gb: float, variant: str) -> float:
+        for point in self.points:
+            if point.input_gb == input_gb and point.variant == variant:
+                return point.duration
+        raise KeyError((input_gb, variant))
+
+    def relative(self, input_gb: float, variant: str) -> float:
+        """Duration relative to plain HDFS at the same size."""
+        return self.duration(input_gb, variant) / self.duration(input_gb, "hdfs")
+
+    def sizes(self) -> List[float]:
+        return sorted({point.input_gb for point in self.points})
+
+    def ignem_matches_ram_until(self, tolerance: float = 0.05) -> float:
+        """Largest size where Ignem is within ``tolerance`` of RAM (the
+        paper's ~2GB inflection)."""
+        matched = 0.0
+        for size in self.sizes():
+            ram = self.relative(size, "ram")
+            ignem = self.relative(size, "ignem")
+            if ignem <= ram + tolerance:
+                matched = size
+        return matched
+
+    def plus10_beats_ignem_at(self) -> Optional[float]:
+        """Smallest size where Ignem+10s outruns plain Ignem (the paper's
+        counterintuitive Section IV-F result; ~4GB there)."""
+        for size in self.sizes():
+            if self.duration(size, "ignem+10s") < self.duration(size, "ignem"):
+                return size
+        return None
+
+    def format(self) -> str:
+        lines = [
+            "Fig 8 — wordcount durations relative to HDFS",
+            f"{'size':>6} {'hdfs(s)':>9} {'ignem':>7} {'ignem+10s':>10} {'ram':>7}",
+        ]
+        for size in self.sizes():
+            lines.append(
+                f"{size:>5.0f}G {self.duration(size, 'hdfs'):>9.1f} "
+                f"{self.relative(size, 'ignem'):>7.2f} "
+                f"{self.relative(size, 'ignem+10s'):>10.2f} "
+                f"{self.relative(size, 'ram'):>7.2f}"
+            )
+        crossover = self.plus10_beats_ignem_at()
+        lines.append(
+            f"Ignem tracks RAM until ~{self.ignem_matches_ram_until():.0f}GB "
+            f"(paper: ~2GB); Ignem+10s overtakes Ignem at "
+            f"{'%.0fGB' % crossover if crossover else 'beyond the sweep'} "
+            f"(paper: ~4GB)"
+        )
+        return "\n".join(lines)
+
+
+def run_wordcount_point(
+    variant: str,
+    input_gb: float,
+    seed: int = 0,
+    extra_lead_time: float = 10.0,
+    ignem_config: Optional[IgnemConfig] = None,
+) -> float:
+    """One wordcount run; returns job duration."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}")
+    use_ignem = variant in ("ignem", "ignem+10s")
+    cluster = build_paper_testbed(
+        seed=seed, ignem=use_ignem, ignem_config=ignem_config
+    )
+    materialize(cluster, input_gb)
+    if variant == "ram":
+        cluster.pin_all_inputs()
+    job = cluster.engine.submit_job(
+        make_wordcount_spec(input_gb),
+        extra_lead_time=extra_lead_time if variant == "ignem+10s" else 0.0,
+    )
+    cluster.run()
+    return job.duration
+
+
+def fig8_wordcount_sweep(
+    seed: int = 0,
+    sizes_gb: Sequence[float] = DEFAULT_SIZES_GB,
+    ignem_config: Optional[IgnemConfig] = None,
+) -> WordcountSweep:
+    """Run the full Fig 8 sweep."""
+    points: List[WordcountPoint] = []
+    for input_gb in sizes_gb:
+        for variant in VARIANTS:
+            duration = run_wordcount_point(
+                variant, input_gb, seed=seed, ignem_config=ignem_config
+            )
+            points.append(
+                WordcountPoint(
+                    input_gb=float(input_gb), variant=variant, duration=duration
+                )
+            )
+    return WordcountSweep(points=tuple(points))

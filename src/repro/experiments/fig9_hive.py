@@ -1,0 +1,134 @@
+"""Figure 9: Hive/TPC-DS query accelerations (paper Section IV-G), plus
+the Section II-A map-dominance statistic.
+
+Each query runs on a fresh cluster per configuration (the paper flushes
+caches between runs).  Fig 9a reports query durations with queries sorted
+by input size; Fig 9b the input sizes.  Paper headlines: query 3 speeds
+up 34%, the mean speedup is ~20%, and the largest-input queries (82, 25,
+29) gain least; map tasks account for ~97% of total task runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import build_paper_testbed
+from ..core.config import IgnemConfig
+from ..hive.catalog import TPCDS_QUERIES, HiveQuery, query_input_bytes
+from ..hive.session import HiveSession, ignem_migration_hook
+from ..metrics.stats import speedup
+from ..storage.device import GB
+
+
+@dataclass(frozen=True)
+class QueryComparison:
+    """One query's durations across configurations."""
+
+    query_id: str
+    input_bytes: float
+    durations: Dict[str, float]  # mode -> seconds
+
+    def speedup(self, mode: str = "ignem") -> float:
+        return speedup(self.durations["hdfs"], self.durations[mode])
+
+
+@dataclass(frozen=True)
+class HiveStudy:
+    """Fig 9 outcome."""
+
+    queries: Tuple[QueryComparison, ...]
+    map_runtime_fraction: float  # Section II-A's ~97%
+
+    def mean_ignem_speedup(self) -> float:
+        return sum(q.speedup("ignem") for q in self.queries) / len(self.queries)
+
+    def best_query(self) -> QueryComparison:
+        return max(self.queries, key=lambda q: q.speedup("ignem"))
+
+    def by_input_size(self) -> List[QueryComparison]:
+        return sorted(self.queries, key=lambda q: q.input_bytes)
+
+    def format(self) -> str:
+        lines = [
+            "Fig 9 — Hive query durations (sorted by input size)",
+            f"{'query':<6} {'input':>8} {'hdfs(s)':>9} {'ignem(s)':>9} "
+            f"{'speedup':>8} {'ram(s)':>8}",
+        ]
+        for query in self.by_input_size():
+            lines.append(
+                f"{query.query_id:<6} {query.input_bytes / GB:>7.1f}G "
+                f"{query.durations['hdfs']:>9.1f} "
+                f"{query.durations['ignem']:>9.1f} "
+                f"{query.speedup('ignem'):>8.1%} "
+                f"{query.durations.get('ram', float('nan')):>8.1f}"
+            )
+        best = self.best_query()
+        lines.append(
+            f"best: {best.query_id} at {best.speedup('ignem'):.0%} "
+            f"(paper: q3 at 34%); mean {self.mean_ignem_speedup():.0%} "
+            f"(paper: ~20%); map tasks are {self.map_runtime_fraction:.0%} "
+            f"of task runtime (paper: ~97%)"
+        )
+        return "\n".join(lines)
+
+
+def run_query_once(
+    query: HiveQuery,
+    mode: str,
+    seed: int = 0,
+    ignem_config: Optional[IgnemConfig] = None,
+) -> Tuple[float, float]:
+    """Run one query on a fresh cluster.
+
+    Returns (duration, map_fraction_of_task_runtime).
+    """
+    if mode not in ("hdfs", "ignem", "ram"):
+        raise ValueError(f"unknown mode {mode!r}")
+    cluster = build_paper_testbed(
+        seed=seed, ignem=(mode == "ignem"), ignem_config=ignem_config
+    )
+    session = HiveSession(
+        cluster, hook=ignem_migration_hook if mode == "ignem" else None
+    )
+    session.create_tables(query.tables)
+    if mode == "ram":
+        cluster.pin_all_inputs()
+    done = session.run_query(query)
+    result = cluster.run(until=done)
+
+    map_seconds = sum(t.duration for t in cluster.collector.map_tasks())
+    total_seconds = sum(t.duration for t in cluster.collector.tasks)
+    map_fraction = map_seconds / total_seconds if total_seconds else 0.0
+    return result.duration, map_fraction
+
+
+def fig9_hive_study(
+    seed: int = 0,
+    queries: Sequence[HiveQuery] = TPCDS_QUERIES,
+    modes: Sequence[str] = ("hdfs", "ignem", "ram"),
+    ignem_config: Optional[IgnemConfig] = None,
+) -> HiveStudy:
+    """Run every catalog query under every configuration."""
+    comparisons: List[QueryComparison] = []
+    map_fractions: List[float] = []
+    for query in queries:
+        durations: Dict[str, float] = {}
+        for mode in modes:
+            duration, map_fraction = run_query_once(
+                query, mode, seed=seed, ignem_config=ignem_config
+            )
+            durations[mode] = duration
+            if mode == "hdfs":
+                map_fractions.append(map_fraction)
+        comparisons.append(
+            QueryComparison(
+                query_id=query.query_id,
+                input_bytes=query_input_bytes(query),
+                durations=durations,
+            )
+        )
+    return HiveStudy(
+        queries=tuple(comparisons),
+        map_runtime_fraction=sum(map_fractions) / len(map_fractions),
+    )

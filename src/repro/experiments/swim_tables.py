@@ -1,0 +1,202 @@
+"""The SWIM experiment family: Tables I & II, Figures 5, 6, 7, and the
+prioritization ablation (paper Sections IV-C).
+
+All results here derive from the three shared SWIM runs in
+:mod:`repro.experiments.swim_runs`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..baselines.hypothetical import (
+    hypothetical_memory_timelines,
+    ignem_memory_timelines,
+    mean_footprint,
+)
+from ..metrics.stats import cdf, mean, speedup
+from ..workloads.swim import size_bin
+from .common import ComparisonTable, make_comparison
+from .swim_runs import SwimRun, run_swim
+
+#: Paper values for Tables I and II.
+PAPER_TABLE1 = {"hdfs": 14.4, "ignem": 12.7, "ram": 11.4}
+PAPER_TABLE2 = {"hdfs": 6.44, "ignem": 4.03, "ram": 0.28}
+#: Paper Fig 5 reductions in mean job duration per size bin (Ignem).
+PAPER_FIG5_IGNEM = {"small": 0.088, "medium": 0.077, "large": 0.25}
+
+
+def table1_job_duration(seed: int = 0, num_jobs: int = 200) -> ComparisonTable:
+    """Table I: mean SWIM job duration across the three configurations."""
+    values = {
+        mode: run_swim(mode, seed=seed, num_jobs=num_jobs).collector.mean_job_duration()
+        for mode in ("hdfs", "ignem", "ram")
+    }
+    return make_comparison(
+        "Table I — SWIM mean job duration",
+        "s",
+        values,
+        paper_values=PAPER_TABLE1,
+    )
+
+
+def table2_task_duration(seed: int = 0, num_jobs: int = 200) -> ComparisonTable:
+    """Table II: mean SWIM mapper duration across the configurations."""
+    values = {
+        mode: run_swim(
+            mode, seed=seed, num_jobs=num_jobs
+        ).collector.mean_task_duration("map")
+        for mode in ("hdfs", "ignem", "ram")
+    }
+    return make_comparison(
+        "Table II — SWIM mean mapper duration",
+        "s",
+        values,
+        paper_values=PAPER_TABLE2,
+    )
+
+
+@dataclass(frozen=True)
+class SizeBinResult:
+    """Fig 5: reduction in mean job duration for one size bin."""
+
+    bin_name: str
+    num_jobs: int
+    hdfs_mean: float
+    ignem_reduction: float
+    ram_reduction: float
+
+
+def fig5_size_bins(seed: int = 0, num_jobs: int = 200) -> List[SizeBinResult]:
+    """Fig 5: per-size-bin mean job duration reductions."""
+    runs = {m: run_swim(m, seed=seed, num_jobs=num_jobs) for m in ("hdfs", "ignem", "ram")}
+    durations: Dict[str, Dict[str, List[float]]] = defaultdict(lambda: defaultdict(list))
+    for mode, run in runs.items():
+        for job in run.collector.jobs:
+            durations[size_bin(job.input_bytes)][mode].append(job.duration)
+
+    results = []
+    for bin_name in ("small", "medium", "large"):
+        per_mode = durations[bin_name]
+        if not per_mode.get("hdfs"):
+            continue
+        hdfs_mean = mean(per_mode["hdfs"])
+        results.append(
+            SizeBinResult(
+                bin_name=bin_name,
+                num_jobs=len(per_mode["hdfs"]),
+                hdfs_mean=hdfs_mean,
+                ignem_reduction=speedup(hdfs_mean, mean(per_mode["ignem"])),
+                ram_reduction=speedup(hdfs_mean, mean(per_mode["ram"])),
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class BlockReadCdfResult:
+    """Fig 6: block read duration distributions under HDFS vs Ignem."""
+
+    hdfs_durations: Tuple[float, ...]
+    ignem_durations: Tuple[float, ...]
+    migrated_fraction: float  # fraction of Ignem reads served from RAM
+
+    @property
+    def mean_reduction(self) -> float:
+        return speedup(mean(self.hdfs_durations), mean(self.ignem_durations))
+
+    def hdfs_cdf(self):
+        return cdf(self.hdfs_durations)
+
+    def ignem_cdf(self):
+        return cdf(self.ignem_durations)
+
+
+def fig6_block_read_cdf(seed: int = 0, num_jobs: int = 200) -> BlockReadCdfResult:
+    """Fig 6: Ignem's effect on every block read (paper: ~40% mean
+    reduction, ~60% of blocks served from memory)."""
+    hdfs = run_swim("hdfs", seed=seed, num_jobs=num_jobs).collector
+    ignem = run_swim("ignem", seed=seed, num_jobs=num_jobs).collector
+    ram_reads = sum(1 for r in ignem.block_reads if r.source == "ram")
+    return BlockReadCdfResult(
+        hdfs_durations=tuple(r.duration for r in hdfs.block_reads),
+        ignem_durations=tuple(r.duration for r in ignem.block_reads),
+        migrated_fraction=ram_reads / len(ignem.block_reads),
+    )
+
+
+@dataclass(frozen=True)
+class MemoryFootprintResult:
+    """Fig 7: Ignem vs the hypothetical instantaneous scheme."""
+
+    ignem_mean_bytes: float
+    hypothetical_mean_bytes: float
+    ignem_nonzero_samples: Tuple[float, ...]
+    hypothetical_nonzero_samples: Tuple[float, ...]
+
+    @property
+    def footprint_ratio(self) -> float:
+        """How many times smaller Ignem's footprint is (paper: 2.6x)."""
+        if self.ignem_mean_bytes <= 0:
+            return float("inf")
+        return self.hypothetical_mean_bytes / self.ignem_mean_bytes
+
+
+def fig7_memory_footprint(seed: int = 0, num_jobs: int = 200) -> MemoryFootprintResult:
+    """Fig 7: per-server migrated-memory footprints."""
+    run: SwimRun = run_swim("ignem", seed=seed, num_jobs=num_jobs)
+    ignem_timelines = ignem_memory_timelines(run.cluster)
+    hypo_timelines = hypothetical_memory_timelines(
+        run.cluster, run.collector.jobs, run.input_paths_by_job, seed=seed
+    )
+    ignem_samples = [
+        v for t in ignem_timelines.values() for v in t.nonzero_samples()
+    ]
+    hypo_samples = [
+        v for t in hypo_timelines.values() for v in t.nonzero_samples()
+    ]
+    return MemoryFootprintResult(
+        ignem_mean_bytes=mean_footprint(ignem_timelines),
+        hypothetical_mean_bytes=mean_footprint(hypo_timelines),
+        ignem_nonzero_samples=tuple(ignem_samples),
+        hypothetical_nonzero_samples=tuple(hypo_samples),
+    )
+
+
+@dataclass(frozen=True)
+class PriorityAblationResult:
+    """IV-C5: smallest-job-first vs FIFO migration order."""
+
+    hdfs_mean: float
+    priority_mean: float
+    fifo_mean: float
+
+    @property
+    def priority_speedup(self) -> float:
+        return speedup(self.hdfs_mean, self.priority_mean)
+
+    @property
+    def fifo_speedup(self) -> float:
+        return speedup(self.hdfs_mean, self.fifo_mean)
+
+    @property
+    def benefit_lost(self) -> float:
+        """Fraction of Ignem's benefit lost without prioritization
+        (paper: ~15%)."""
+        if self.priority_speedup <= 0:
+            return 0.0
+        return 1.0 - self.fifo_speedup / self.priority_speedup
+
+
+def ablation_priority(seed: int = 0, num_jobs: int = 200) -> PriorityAblationResult:
+    """Disable smallest-job-first and measure the lost benefit."""
+    hdfs = run_swim("hdfs", seed=seed, num_jobs=num_jobs)
+    priority = run_swim("ignem", seed=seed, num_jobs=num_jobs)
+    fifo = run_swim("ignem", seed=seed, num_jobs=num_jobs, policy="fifo")
+    return PriorityAblationResult(
+        hdfs_mean=hdfs.collector.mean_job_duration(),
+        priority_mean=priority.collector.mean_job_duration(),
+        fifo_mean=fifo.collector.mean_job_duration(),
+    )

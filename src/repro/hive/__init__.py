@@ -1,0 +1,25 @@
+"""Hive-like SQL-on-MapReduce layer with the Ignem post-compile hook."""
+
+from .catalog import (
+    TPCDS_QUERIES,
+    TPCDS_TABLES,
+    HiveQuery,
+    QueryStage,
+    Table,
+    get_query,
+    query_input_bytes,
+)
+from .session import HiveSession, QueryResult, ignem_migration_hook
+
+__all__ = [
+    "HiveQuery",
+    "HiveSession",
+    "QueryResult",
+    "QueryStage",
+    "TPCDS_QUERIES",
+    "TPCDS_TABLES",
+    "Table",
+    "get_query",
+    "ignem_migration_hook",
+    "query_input_bytes",
+]

@@ -1,0 +1,179 @@
+"""TPC-DS-shaped table and query catalog (paper Section IV-G, Figure 9).
+
+The paper evaluates Hive on several TPC-DS queries; Figure 9 sorts them
+by input size — query 3 reads little and speeds up most (34%), queries
+82, 25, and 29 read the most and gain least.  This catalog defines tables
+and a query set with the same input-size ordering and multi-stage (map ->
+shuffle -> reduce -> next stage) structure, scaled to the 8-node testbed.
+
+Selectivities are aggressive (a few percent survive the map stage), which
+is what makes map tasks ~97% of total task runtime (Section II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..storage.device import GB, MB
+
+
+@dataclass(frozen=True)
+class Table:
+    """One warehouse table stored as a file in the DFS."""
+
+    name: str
+    nbytes: float
+
+    @property
+    def path(self) -> str:
+        return f"/tpcds/{self.name}"
+
+
+@dataclass(frozen=True)
+class QueryStage:
+    """One MR stage of a compiled query.
+
+    ``selectivity`` is output/input for the stage's map side (the WHERE
+    predicates and SELECT projection); ``shuffle_fraction`` is the part of
+    surviving rows that must cross the network to reducers.
+    """
+
+    selectivity: float
+    shuffle_fraction: float = 1.0
+    num_reduces: int = 4
+    #: ORC decode + predicate evaluation runs at ~160MB/s per mapper.
+    map_cpu_factor: float = 2.5
+    reduce_cpu_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.selectivity <= 1:
+            raise ValueError("selectivity must be in (0, 1]")
+        if not 0 <= self.shuffle_fraction <= 1:
+            raise ValueError("shuffle_fraction must be in [0, 1]")
+        if self.num_reduces < 1:
+            raise ValueError("num_reduces must be >= 1")
+
+
+@dataclass(frozen=True)
+class HiveQuery:
+    """A named query: the tables its first stage scans plus later stages."""
+
+    query_id: str
+    tables: Tuple[str, ...]
+    stages: Tuple[QueryStage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ValueError("a query must scan at least one table")
+        if not self.stages:
+            raise ValueError("a query needs at least one stage")
+
+
+#: Warehouse tables, scaled for the 8-node testbed.
+TPCDS_TABLES: Dict[str, Table] = {
+    table.name: table
+    for table in [
+        Table("date_dim", 96 * MB),
+        Table("item", 192 * MB),
+        Table("customer", 384 * MB),
+        Table("promotion", 64 * MB),
+        Table("store_sales_q1", 1.0 * GB),
+        Table("web_sales", 1.8 * GB),
+        Table("catalog_sales_q", 2.8 * GB),
+        Table("inventory", 3.8 * GB),
+        Table("store_sales_h1", 4.2 * GB),
+        Table("store_sales", 9.5 * GB),
+        Table("catalog_sales", 3.2 * GB),
+    ]
+}
+
+
+def _q(query_id: str, tables: List[str], stages: List[QueryStage]) -> HiveQuery:
+    for name in tables:
+        if name not in TPCDS_TABLES:
+            raise ValueError(f"unknown table {name!r}")
+    return HiveQuery(query_id, tuple(tables), tuple(stages))
+
+
+#: The Figure 9 query set, in increasing input-size order (as the paper
+#: sorts both subfigures).  Queries 3 (smallest) and 82/25/29 (largest)
+#: are named in the paper; the middle queries complete the sweep.
+TPCDS_QUERIES: Tuple[HiveQuery, ...] = (
+    _q(
+        "q3",
+        ["store_sales_q1", "date_dim", "item"],
+        [
+            QueryStage(selectivity=0.04, num_reduces=4),
+            QueryStage(selectivity=0.3, num_reduces=2),
+        ],
+    ),
+    _q(
+        "q7",
+        ["store_sales_q1", "customer", "promotion", "date_dim"],
+        [
+            QueryStage(selectivity=0.05, num_reduces=4),
+            QueryStage(selectivity=0.3, num_reduces=2),
+        ],
+    ),
+    _q(
+        "q12",
+        ["web_sales", "item", "date_dim"],
+        [
+            QueryStage(selectivity=0.04, num_reduces=4),
+            QueryStage(selectivity=0.25, num_reduces=2),
+        ],
+    ),
+    _q(
+        "q15",
+        ["catalog_sales_q", "customer", "date_dim"],
+        [
+            QueryStage(selectivity=0.05, num_reduces=4),
+            QueryStage(selectivity=0.3, num_reduces=2),
+        ],
+    ),
+    _q(
+        "q21",
+        ["inventory", "item", "date_dim"],
+        [
+            QueryStage(selectivity=0.03, num_reduces=4),
+            QueryStage(selectivity=0.3, num_reduces=2),
+        ],
+    ),
+    _q(
+        "q82",
+        ["inventory", "store_sales_h1", "item"],
+        [
+            QueryStage(selectivity=0.04, num_reduces=8),
+            QueryStage(selectivity=0.3, num_reduces=2),
+        ],
+    ),
+    _q(
+        "q25",
+        ["store_sales", "date_dim", "item"],
+        [
+            QueryStage(selectivity=0.04, num_reduces=8),
+            QueryStage(selectivity=0.3, num_reduces=4),
+        ],
+    ),
+    _q(
+        "q29",
+        ["store_sales", "catalog_sales", "date_dim", "item"],
+        [
+            QueryStage(selectivity=0.04, num_reduces=8),
+            QueryStage(selectivity=0.3, num_reduces=4),
+        ],
+    ),
+)
+
+
+def query_input_bytes(query: HiveQuery) -> float:
+    """Total bytes the query's first stage scans."""
+    return sum(TPCDS_TABLES[name].nbytes for name in query.tables)
+
+
+def get_query(query_id: str) -> HiveQuery:
+    for query in TPCDS_QUERIES:
+        if query.query_id == query_id:
+            return query
+    raise KeyError(f"unknown query {query_id!r}")

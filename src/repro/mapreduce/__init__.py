@@ -1,0 +1,13 @@
+"""MapReduce/Tez-like execution engine.
+
+Turns :class:`JobSpec` descriptions into scheduled map and reduce tasks:
+mappers read one DFS block each (this is where Ignem's migrated replicas
+pay off), spill shuffle data locally, reducers fetch over the network,
+compute, and write replicated output.
+"""
+
+from .engine import MapReduceEngine
+from .job import MRJob
+from .spec import EngineConfig, JobSpec
+
+__all__ = ["EngineConfig", "JobSpec", "MRJob", "MapReduceEngine"]

@@ -1,0 +1,386 @@
+"""Runtime job object: maps, shuffle, reduces, and per-level metrics."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..dfs.blocks import Block
+from ..dfs.client import DFSClient
+from ..metrics.collector import MetricsCollector
+from ..metrics.records import BlockReadRecord, JobRecord, TaskRecord
+from ..scheduler.containers import TaskRequest
+from ..scheduler.resource_manager import ResourceManager
+from ..sim.engine import Environment
+from ..sim.events import Event
+from .spec import EngineConfig, JobSpec
+
+
+class MRJob:
+    """One submitted MapReduce job, from migrate-call to completion.
+
+    Lifecycle (paper Section III-B3):
+
+    1. the *job submitter* runs: it issues the Ignem ``migrate`` call
+       (when enabled), optionally sleeps (the Ignem+10s experiment),
+       pays the submit overhead, and queues map tasks with the RM;
+    2. map tasks read their input block through the DFS client (best
+       replica: memory > local disk > remote), compute, and spill their
+       shuffle share locally;
+    3. when all maps finish, reduce tasks are queued; each fetches its
+       shuffle share from every map node, computes, and writes output;
+    4. on completion the submitter issues the explicit ``evict`` call.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: JobSpec,
+        client: DFSClient,
+        rm: ResourceManager,
+        collector: MetricsCollector,
+        config: EngineConfig,
+        use_ignem: bool = False,
+        implicit_eviction: bool = True,
+        extra_lead_time: float = 0.0,
+    ):
+        self.env = env
+        self.spec = spec
+        self.client = client
+        self.rm = rm
+        self.collector = collector
+        self.config = config
+        self.use_ignem = use_ignem
+        self.implicit_eviction = implicit_eviction
+        self.extra_lead_time = float(extra_lead_time)
+
+        self.job_id = f"job-{next(MRJob._ids):05d}"
+        self.completed: Event = env.event()
+        self.submitted_at: Optional[float] = None
+        self.first_task_start: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+        self._blocks: List[Block] = []
+        for path in spec.input_paths:
+            self._blocks.extend(client.open(path).blocks)
+        self.input_bytes = sum(block.nbytes for block in self._blocks)
+        #: Shuffle bytes produced on each node by that node's map tasks.
+        self._map_output_by_node: Dict[str, float] = {}
+        #: Per-map first-finisher events (original vs speculative attempt).
+        self._map_done_events: List[Event] = []
+        self._map_durations: List[float] = []
+        #: Number of speculative duplicate attempts launched.
+        self.speculative_attempts = 0
+
+    # -- public API -----------------------------------------------------------
+
+    @property
+    def num_maps(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def num_reduces(self) -> int:
+        if self.spec.shuffle_bytes <= 0 and self.spec.output_bytes <= 0:
+            return 0
+        return self.spec.num_reduces
+
+    @property
+    def duration(self) -> float:
+        if self.submitted_at is None or self.finished_at is None:
+            raise RuntimeError(f"{self.job_id} has not finished")
+        return self.finished_at - self.submitted_at
+
+    def submit(self) -> Event:
+        """Start the job-submitter process; returns the completion event."""
+        self.env.process(self._submitter(), name=f"submitter-{self.job_id}")
+        return self.completed
+
+    # -- submitter -------------------------------------------------------------
+
+    def _submitter(self):
+        self.submitted_at = self.env.now
+        self.rm.register_job(self.job_id)
+
+        # The migrate call is the *first* thing the submitter does so the
+        # slaves get the entire lead-time to work with (paper III-B3).
+        if self.use_ignem:
+            self.client.migrate(
+                list(self.spec.input_paths),
+                self.job_id,
+                implicit_eviction=self.implicit_eviction,
+            )
+
+        # Artificially inserted lead-time (the Ignem+10s experiment,
+        # Section IV-F).  The sleep is counted in the job duration.
+        if self.extra_lead_time > 0:
+            yield self.env.timeout(self.extra_lead_time)
+
+        if self.config.job_submit_overhead > 0:
+            yield self.env.timeout(self.config.job_submit_overhead)
+
+        self._map_done_events = [self.env.event() for _ in self._blocks]
+        self._map_durations: List[float] = []
+        map_tasks = [
+            self._make_map_task(index, block, self._map_done_events[index])
+            for index, block in enumerate(self._blocks)
+        ]
+        self.rm.submit_all(map_tasks)
+        if self.config.speculative_execution:
+            self.env.process(
+                self._speculator(map_tasks), name=f"speculator-{self.job_id}"
+            )
+        yield self.env.all_of(self._map_done_events)
+
+        if self.num_reduces > 0:
+            reduce_tasks = [
+                self._make_reduce_task(index) for index in range(self.num_reduces)
+            ]
+            self.rm.submit_all(reduce_tasks)
+            yield self.env.all_of([task.completed for task in reduce_tasks])
+
+        if self.config.job_commit_overhead > 0:
+            yield self.env.timeout(self.config.job_commit_overhead)
+
+        self.finished_at = self.env.now
+        self.rm.unregister_job(self.job_id)
+        if self.use_ignem:
+            # Explicit eviction on completion cleans up any blocks the job
+            # never read (implicit eviction already dropped the read ones).
+            self.client.evict(list(self.spec.input_paths), self.job_id)
+
+        self.collector.record_job(
+            JobRecord(
+                job_id=self.job_id,
+                name=self.spec.name,
+                submitted_at=self.submitted_at,
+                first_task_start=(
+                    self.first_task_start
+                    if self.first_task_start is not None
+                    else self.finished_at
+                ),
+                end=self.finished_at,
+                input_bytes=self.input_bytes,
+                num_maps=self.num_maps,
+                num_reduces=self.num_reduces,
+            )
+        )
+        self.completed.succeed(self)
+
+    # -- map side ----------------------------------------------------------------
+
+    def _make_map_task(
+        self,
+        index: int,
+        block: Block,
+        done: Event,
+        attempt: int = 0,
+        avoid: Tuple[str, ...] = (),
+    ) -> TaskRequest:
+        suffix = "" if attempt == 0 else f"-a{attempt}"
+        task_id = f"{self.job_id}-m{index:04d}{suffix}"
+
+        def execute(node: str):
+            return self._run_map(task_id, block, node, done, avoid)
+
+        disk_nodes = [
+            node
+            for node in self.client.namenode.get_block_locations(block.block_id)
+            if node not in set(avoid)
+        ] or self.client.namenode.get_block_locations(block.block_id)
+        return TaskRequest(
+            self.env,
+            self.job_id,
+            task_id,
+            "map",
+            execute,
+            disk_nodes=disk_nodes,
+            memory_nodes_fn=lambda: self.client.memory_locations(block),
+        )
+
+    def _speculator(self, map_tasks: List[TaskRequest]):
+        """Launch duplicate attempts for straggling maps (Hadoop-style).
+
+        The duplicate and the original race; whichever finishes first
+        resolves the map's done-event, and only the winner contributes
+        shuffle output.  The loser's work is wasted, as in Hadoop when
+        the kill is slower than the task.
+        """
+        cfg = self.config
+        speculated: set = set()
+        total = len(map_tasks)
+        budget = max(1, int(cfg.speculative_max_fraction * total))
+        while True:
+            if len(speculated) >= budget:
+                return
+            pending = [
+                index
+                for index, done in enumerate(self._map_done_events)
+                if not done.triggered
+            ]
+            if not pending:
+                return
+            threshold_count = cfg.speculative_min_completed * total
+            if len(self._map_durations) >= threshold_count and self._map_durations:
+                ordered = sorted(self._map_durations)
+                median = ordered[len(ordered) // 2]
+                for index in pending:
+                    if len(speculated) >= budget:
+                        break
+                    task = map_tasks[index]
+                    if index in speculated or task.started_at is None:
+                        continue
+                    elapsed = self.env.now - task.started_at
+                    if median > 0 and elapsed > cfg.speculative_slowdown * median:
+                        speculated.add(index)
+                        self.speculative_attempts += 1
+                        avoid = (
+                            (task.assigned_node,)
+                            if task.assigned_node is not None
+                            else ()
+                        )
+                        duplicate = self._make_map_task(
+                            index,
+                            self._blocks[index],
+                            self._map_done_events[index],
+                            attempt=1,
+                            avoid=avoid,
+                        )
+                        self.rm.submit(duplicate)
+            yield self.env.timeout(cfg.speculative_poll_interval)
+
+    def _run_map(
+        self,
+        task_id: str,
+        block: Block,
+        node: str,
+        done: Event,
+        avoid: Tuple[str, ...] = (),
+    ):
+        scheduled_at = self.env.now
+        if self.first_task_start is None:
+            self.first_task_start = self.env.now
+
+        yield self.env.timeout(self.config.task_startup_overhead)
+
+        read = self.client.read_block(
+            block, node, job_id=self.job_id, avoid=avoid
+        )
+        read_start = self.env.now
+        yield read.done
+        self.collector.record_block_read(
+            BlockReadRecord(
+                job_id=self.job_id,
+                task_id=task_id,
+                block_id=block.block_id,
+                node=read.serving_node,
+                source=read.source,
+                nbytes=block.nbytes,
+                start=read_start,
+                end=self.env.now,
+            )
+        )
+
+        cpu_rate = self.config.map_cpu_bytes_per_sec
+        if self.spec.map_cpu_factor > 0 and block.nbytes > 0:
+            yield self.env.timeout(
+                block.nbytes * self.spec.map_cpu_factor / cpu_rate
+            )
+
+        # With speculative execution two attempts may race; only the
+        # winner commits shuffle output and resolves the map's event.
+        winner = not done.triggered
+        if winner:
+            done.succeed(task_id)
+            self._map_durations.append(self.env.now - scheduled_at)
+
+        out_bytes = self._map_output_bytes(block) if winner else 0.0
+        if out_bytes > 0:
+            datanode = self.client.namenode.datanode(node)
+            datanode.cache.write_absorb(("shuffle", task_id), out_bytes)
+            self._map_output_by_node[node] = (
+                self._map_output_by_node.get(node, 0.0) + out_bytes
+            )
+
+        self.collector.record_task(
+            TaskRecord(
+                job_id=self.job_id,
+                task_id=task_id,
+                kind="map",
+                node=node,
+                scheduled_at=scheduled_at,
+                start=scheduled_at,
+                end=self.env.now,
+                input_bytes=block.nbytes,
+                output_bytes=out_bytes,
+            )
+        )
+
+    def _map_output_bytes(self, block: Block) -> float:
+        if self.input_bytes <= 0:
+            return 0.0
+        return self.spec.shuffle_bytes * (block.nbytes / self.input_bytes)
+
+    # -- reduce side --------------------------------------------------------------
+
+    def _make_reduce_task(self, index: int) -> TaskRequest:
+        task_id = f"{self.job_id}-r{index:04d}"
+
+        def execute(node: str):
+            return self._run_reduce(task_id, index, node)
+
+        return TaskRequest(self.env, self.job_id, task_id, "reduce", execute)
+
+    def _run_reduce(self, task_id: str, index: int, node: str):
+        scheduled_at = self.env.now
+        yield self.env.timeout(self.config.task_startup_overhead)
+
+        share = (
+            self.spec.shuffle_bytes / self.num_reduces if self.num_reduces else 0.0
+        )
+        fetches = []
+        total_map_output = sum(self._map_output_by_node.values())
+        if share > 0 and total_map_output > 0:
+            for map_node, produced in self._map_output_by_node.items():
+                nbytes = share * (produced / total_map_output)
+                if map_node != node and nbytes > 0:
+                    fetches.append(
+                        self.client.network.transfer(
+                            map_node, node, nbytes, tag=("shuffle", task_id)
+                        )
+                    )
+        if fetches:
+            yield self.env.all_of(fetches)
+
+        if share > 0 and self.spec.reduce_cpu_factor > 0:
+            yield self.env.timeout(
+                share
+                * self.spec.reduce_cpu_factor
+                / self.config.reduce_cpu_bytes_per_sec
+            )
+
+        out_share = (
+            self.spec.output_bytes / self.num_reduces if self.num_reduces else 0.0
+        )
+        if out_share > 0:
+            yield self.client.write_file(
+                f"/out/{self.job_id}/part-{index:04d}",
+                out_share,
+                writer_node=node,
+                replication=self.config.output_replication,
+            )
+
+        self.collector.record_task(
+            TaskRecord(
+                job_id=self.job_id,
+                task_id=task_id,
+                kind="reduce",
+                node=node,
+                scheduled_at=scheduled_at,
+                start=scheduled_at,
+                end=self.env.now,
+                input_bytes=share,
+                output_bytes=out_share,
+            )
+        )

@@ -1,0 +1,39 @@
+"""Measurement records, the run-wide collector, and statistics helpers."""
+
+from .collector import MetricsCollector
+from .records import (
+    BlockReadRecord,
+    EvictionRecord,
+    JobRecord,
+    MemorySample,
+    MigrationRecord,
+    TaskRecord,
+)
+from .stats import (
+    cdf,
+    fraction_below,
+    histogram,
+    mean,
+    median,
+    percentile,
+    speedup,
+    speedup_factor,
+)
+
+__all__ = [
+    "BlockReadRecord",
+    "EvictionRecord",
+    "JobRecord",
+    "MemorySample",
+    "MetricsCollector",
+    "MigrationRecord",
+    "TaskRecord",
+    "cdf",
+    "fraction_below",
+    "histogram",
+    "mean",
+    "median",
+    "percentile",
+    "speedup",
+    "speedup_factor",
+]

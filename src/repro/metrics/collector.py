@@ -1,0 +1,112 @@
+"""Central sink for measurement records produced during a simulation run."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .records import (
+    BlockReadRecord,
+    EvictionRecord,
+    JobRecord,
+    MemorySample,
+    MigrationRecord,
+    TaskRecord,
+)
+
+
+class MetricsCollector:
+    """Accumulates typed records; every subsystem reports into one of these.
+
+    The collector is passive — it never touches simulation time — so it can
+    be shared freely and inspected after (or during) a run.
+    """
+
+    def __init__(self) -> None:
+        self.block_reads: List[BlockReadRecord] = []
+        self.tasks: List[TaskRecord] = []
+        self.jobs: List[JobRecord] = []
+        self.migrations: List[MigrationRecord] = []
+        self.evictions: List[EvictionRecord] = []
+        self.memory_samples: List[MemorySample] = []
+
+    # -- record sinks ----------------------------------------------------------
+
+    def record_block_read(self, record: BlockReadRecord) -> None:
+        self.block_reads.append(record)
+
+    def record_task(self, record: TaskRecord) -> None:
+        self.tasks.append(record)
+
+    def record_job(self, record: JobRecord) -> None:
+        self.jobs.append(record)
+
+    def record_migration(self, record: MigrationRecord) -> None:
+        self.migrations.append(record)
+
+    def record_eviction(self, record: EvictionRecord) -> None:
+        self.evictions.append(record)
+
+    def record_memory_sample(self, sample: MemorySample) -> None:
+        self.memory_samples.append(sample)
+
+    # -- convenience queries -------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[JobRecord]:
+        for record in self.jobs:
+            if record.job_id == job_id:
+                return record
+        return None
+
+    def tasks_for_job(self, job_id: str, kind: Optional[str] = None) -> List[TaskRecord]:
+        return [
+            t
+            for t in self.tasks
+            if t.job_id == job_id and (kind is None or t.kind == kind)
+        ]
+
+    def map_tasks(self) -> List[TaskRecord]:
+        return [t for t in self.tasks if t.kind == "map"]
+
+    def reduce_tasks(self) -> List[TaskRecord]:
+        return [t for t in self.tasks if t.kind == "reduce"]
+
+    def block_reads_for_job(self, job_id: str) -> List[BlockReadRecord]:
+        return [r for r in self.block_reads if r.job_id == job_id]
+
+    def completed_migrations(self) -> List[MigrationRecord]:
+        return [m for m in self.migrations if m.outcome == "completed"]
+
+    def mean_job_duration(self) -> float:
+        if not self.jobs:
+            raise ValueError("no job records collected")
+        return sum(j.duration for j in self.jobs) / len(self.jobs)
+
+    def mean_task_duration(self, kind: Optional[str] = None) -> float:
+        tasks = self.tasks if kind is None else [t for t in self.tasks if t.kind == kind]
+        if not tasks:
+            raise ValueError(f"no task records collected (kind={kind!r})")
+        return sum(t.duration for t in tasks) / len(tasks)
+
+    def mean_block_read_duration(self) -> float:
+        if not self.block_reads:
+            raise ValueError("no block read records collected")
+        return sum(r.duration for r in self.block_reads) / len(self.block_reads)
+
+    def filter_jobs(self, predicate: Callable[[JobRecord], bool]) -> List[JobRecord]:
+        return [j for j in self.jobs if predicate(j)]
+
+    def summary(self) -> Dict[str, float]:
+        """A terse run summary used by examples and experiment logs."""
+        out: Dict[str, float] = {
+            "jobs": len(self.jobs),
+            "tasks": len(self.tasks),
+            "block_reads": len(self.block_reads),
+            "migrations_completed": len(self.completed_migrations()),
+        }
+        if self.jobs:
+            out["mean_job_duration"] = self.mean_job_duration()
+        if self.tasks:
+            out["mean_task_duration"] = self.mean_task_duration()
+        if self.block_reads:
+            out["mean_block_read_duration"] = self.mean_block_read_duration()
+        return out

@@ -1,0 +1,114 @@
+"""Typed measurement records emitted by the simulated stack.
+
+Each record corresponds to one level of instrumentation used in the
+paper's evaluation: HDFS block reads (Fig 1, Fig 6), tasks (Fig 2,
+Table II), jobs (Table I, Fig 5, Table III, Fig 8, Fig 9), and migrations
+plus memory samples (Fig 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BlockReadRecord:
+    """One HDFS block read by one task."""
+
+    job_id: str
+    task_id: str
+    block_id: str
+    node: str
+    source: str  # "hdd" | "ssd" | "ram" | "remote"
+    nbytes: float
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One task (map or reduce) execution."""
+
+    job_id: str
+    task_id: str
+    kind: str  # "map" | "reduce"
+    node: str
+    scheduled_at: float
+    start: float
+    end: float
+    input_bytes: float = 0.0
+    output_bytes: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def queue_delay(self) -> float:
+        return self.start - self.scheduled_at
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job from submission to completion."""
+
+    job_id: str
+    name: str
+    submitted_at: float
+    first_task_start: float
+    end: float
+    input_bytes: float
+    num_maps: int
+    num_reduces: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.submitted_at
+
+    @property
+    def lead_time(self) -> float:
+        """Paper definition: submission to first task start."""
+        return self.first_task_start - self.submitted_at
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One block migration performed by an Ignem slave."""
+
+    job_id: str
+    block_id: str
+    node: str
+    nbytes: float
+    enqueued_at: float
+    start: float
+    end: float
+    outcome: str  # "completed" | "skipped" | "cancelled"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """One block eviction from an Ignem slave's migration buffer."""
+
+    block_id: str
+    node: str
+    nbytes: float
+    time: float
+    reason: str  # "explicit" | "implicit" | "cleanup" | "failure"
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """Point-in-time migrated-bytes usage on one node (Fig 7)."""
+
+    node: str
+    time: float
+    migrated_bytes: float

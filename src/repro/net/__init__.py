@@ -1,0 +1,13 @@
+"""Datacenter network model.
+
+The paper's testbed has a 10Gbps full-bisection network and relies on the
+observation that "network bandwidth is not a bottleneck in current
+data-centers" (Section III-A2) to justify migrating only one replica.  We
+model each server's NIC as a processor-sharing device (ingress+egress
+combined) connected through a non-blocking fabric: a transfer between two
+servers is limited by the slower of the two NICs.
+"""
+
+from .network import Network, NetworkInterface
+
+__all__ = ["Network", "NetworkInterface"]

@@ -1,0 +1,75 @@
+"""Non-blocking fabric with per-server NICs modeled as PS devices."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.engine import Environment
+from ..sim.events import Event
+from ..storage.device import GB, TransferDevice, no_penalty
+
+#: 10 Gbps expressed in bytes/second.
+TEN_GBPS = 10e9 / 8
+
+
+class NetworkInterface:
+    """One server's NIC: a shared-bandwidth pipe for all its flows."""
+
+    def __init__(self, env: Environment, node: str, bandwidth: float = TEN_GBPS):
+        self.node = node
+        self.device = TransferDevice(
+            env, f"nic-{node}", bandwidth=bandwidth, penalty=no_penalty
+        )
+
+    @property
+    def bytes_moved(self) -> float:
+        return self.device.bytes_moved
+
+    def __repr__(self) -> str:
+        return f"<NetworkInterface {self.node!r}>"
+
+
+class Network:
+    """A full-bisection datacenter network between named servers.
+
+    ``transfer(src, dst, nbytes)`` returns an event that fires when the
+    bytes have cleared both endpoints' NICs.  Same-node transfers complete
+    immediately (loopback never touches the NIC).
+    """
+
+    def __init__(self, env: Environment, bandwidth: float = TEN_GBPS):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self._nics: Dict[str, NetworkInterface] = {}
+
+    def add_node(self, node: str, bandwidth: Optional[float] = None) -> NetworkInterface:
+        """Register a server; idempotent for repeated names."""
+        if node not in self._nics:
+            self._nics[node] = NetworkInterface(
+                self.env, node, bandwidth or self.bandwidth
+            )
+        return self._nics[node]
+
+    def nic(self, node: str) -> NetworkInterface:
+        if node not in self._nics:
+            raise KeyError(f"unknown node {node!r}")
+        return self._nics[node]
+
+    def has_node(self, node: str) -> bool:
+        return node in self._nics
+
+    def transfer(self, src: str, dst: str, nbytes: float, tag=None) -> Event:
+        """Move ``nbytes`` from ``src`` to ``dst``; returns a done event."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if src == dst:
+            done = Event(self.env)
+            done.succeed(None)
+            return done
+        src_nic = self.nic(src)
+        dst_nic = self.nic(dst)
+        send = src_nic.device.transfer(nbytes, tag=tag)
+        recv = dst_nic.device.transfer(nbytes, tag=tag)
+        return self.env.all_of([send, recv])

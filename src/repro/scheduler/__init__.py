@@ -1,0 +1,12 @@
+"""YARN-like cluster scheduler: ResourceManager + NodeManagers.
+
+Heartbeat-driven slot scheduling with memory-then-disk locality
+preference.  The multi-second heartbeat cadence and task queueing are the
+sources of lead-time Ignem exploits (paper Section II-C1).
+"""
+
+from .containers import TaskRequest
+from .node_manager import NodeManager
+from .resource_manager import ResourceManager
+
+__all__ = ["NodeManager", "ResourceManager", "TaskRequest"]

@@ -1,0 +1,166 @@
+"""ResourceManager: cluster-wide FIFO task scheduling over heartbeats."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..sim.engine import Environment
+from .containers import TaskRequest
+from .node_manager import NodeManager
+
+
+class ResourceManager:
+    """Hands queued tasks to nodes when they heartbeat.
+
+    Scheduling policy (per heartbeat, per free slot), in order:
+
+    1. a pending task whose input is *in memory* on this node (the
+       migrated-replica locality preference of paper Section III-A2);
+    2. a pending task with an on-disk replica on this node (classic HDFS
+       data locality);
+    3. the oldest pending task (FIFO across jobs).
+
+    Tasks only start at heartbeats — the queueing plus heartbeat latency
+    is precisely the lead-time Ignem exploits.
+
+    ``locality_wait`` enables delay scheduling (Zaharia et al.): a task
+    that has locality *somewhere* is held back from non-local placement
+    until it has waited at least that long, at the cost of slot idling.
+    The default of 0 disables it (plain Hadoop FIFO behaviour).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        locality_wait: float = 0.0,
+        max_task_attempts: int = 3,
+    ):
+        if locality_wait < 0:
+            raise ValueError("locality_wait must be non-negative")
+        if max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
+        self.env = env
+        self.locality_wait = float(locality_wait)
+        self.max_task_attempts = max_task_attempts
+        self._nodes: Dict[str, NodeManager] = {}
+        self._pending: List[TaskRequest] = []
+        self._active_jobs: Set[str] = set()
+        self.tasks_launched = 0
+        self.tasks_finished = 0
+        self.tasks_retried = 0
+        self.tasks_abandoned = 0
+
+    # -- cluster membership -------------------------------------------------------
+
+    def register_node(self, node: NodeManager) -> None:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate NodeManager name {node.name!r}")
+        self._nodes[node.name] = node
+        node.attach(self)
+
+    def nodes(self) -> List[NodeManager]:
+        return list(self._nodes.values())
+
+    # -- job lifecycle -------------------------------------------------------------
+
+    def register_job(self, job_id: str) -> None:
+        """Mark a job live (Ignem's leak cleanup queries this, III-A4)."""
+        self._active_jobs.add(job_id)
+
+    def unregister_job(self, job_id: str) -> None:
+        self._active_jobs.discard(job_id)
+        # Drop any of the job's tasks that never started (job killed).
+        self._pending = [t for t in self._pending if t.job_id != job_id]
+
+    def job_active(self, job_id: str) -> bool:
+        """The liveness probe Ignem slaves use to purge leaked references."""
+        return job_id in self._active_jobs
+
+    # -- task queueing ---------------------------------------------------------------
+
+    def submit(self, task: TaskRequest) -> None:
+        """Queue one task; it will start at some node's future heartbeat."""
+        task.submitted_at = self.env.now
+        self._pending.append(task)
+        for node in self._nodes.values():
+            node.notify_work()
+
+    def submit_all(self, tasks: List[TaskRequest]) -> None:
+        for task in tasks:
+            self.submit(task)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # -- heartbeat-driven scheduling ---------------------------------------------------
+
+    def on_heartbeat(self, node: NodeManager) -> None:
+        if not node.alive:
+            return
+        while node.free_slots > 0 and self._pending:
+            task = self._pick_task(node.name)
+            if task is None:
+                break
+            self._pending.remove(task)
+            self.tasks_launched += 1
+            node.launch(task)
+
+    def on_task_finished(self, task: TaskRequest, node: NodeManager) -> None:
+        self.tasks_finished += 1
+        # Work-conserving touch: the freed slot can immediately take more
+        # work at this same instant (mimics NM heartbeating on completion,
+        # which Hadoop does to reduce slot idling).
+        self.on_heartbeat(node)
+
+    def on_task_failed(
+        self, task: TaskRequest, node: NodeManager, error: BaseException
+    ) -> None:
+        """A container died (task crash or node failure): retry the task
+        on a different node, up to ``max_task_attempts`` total attempts."""
+        task.excluded_nodes.add(node.name)
+        if not self.job_active(task.job_id):
+            return  # the job was torn down; nothing to retry for
+        live_nodes = {n.name for n in self._nodes.values() if n.alive}
+        no_home_left = live_nodes <= task.excluded_nodes
+        if task.attempts >= self.max_task_attempts or no_home_left:
+            self.tasks_abandoned += 1
+            if not task.completed.triggered:
+                task.completed.fail(error)
+            return
+        self.tasks_retried += 1
+        self._pending.append(task)
+        for other in self._nodes.values():
+            other.notify_work()
+        if node.alive:
+            self.on_heartbeat(node)
+
+    def _pick_task(self, node_name: str) -> Optional[TaskRequest]:
+        if not self._pending:
+            return None
+        # Pass 1: memory locality (migrated replicas).
+        for task in self._pending:
+            if node_name in task.excluded_nodes:
+                continue
+            if node_name in task.memory_nodes():
+                return task
+        # Pass 2: disk locality.
+        for task in self._pending:
+            if node_name in task.excluded_nodes:
+                continue
+            if node_name in task.disk_nodes:
+                return task
+        # Pass 3: FIFO — but with delay scheduling enabled, a task that
+        # has locality somewhere keeps waiting for a local slot until its
+        # patience runs out.
+        now = self.env.now
+        for task in self._pending:
+            if node_name in task.excluded_nodes:
+                continue
+            if self.locality_wait > 0:
+                has_locality = bool(task.disk_nodes) or bool(task.memory_nodes())
+                waited = now - (task.submitted_at or now)
+                if has_locality and waited < self.locality_wait:
+                    continue
+            return task
+        return None

@@ -1,0 +1,58 @@
+"""Discrete-event simulation kernel.
+
+A small, self-contained, generator-based DES in the style of SimPy:
+
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> def clock(env, results):
+...     while env.now < 3:
+...         results.append(env.now)
+...         yield env.timeout(1)
+>>> ticks = []
+>>> _ = env.process(clock(env, ticks))
+>>> env.run()
+>>> ticks
+[0.0, 1.0, 2.0]
+"""
+
+from .engine import Environment, StopSimulation
+from .events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+from .process import Process
+from .rand import RandomSource, derive_seed
+from .resources import (
+    Container,
+    PriorityItem,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityItem",
+    "PriorityStore",
+    "Process",
+    "RandomSource",
+    "Resource",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+    "derive_seed",
+]

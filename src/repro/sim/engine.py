@@ -1,0 +1,161 @@
+"""The simulation engine: a time-ordered event queue and its run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional, Union
+
+from .events import NORMAL, AllOf, AnyOf, Event, SimulationError, Timeout
+from .process import Process
+
+
+class EmptySchedule(SimulationError):
+    """Raised internally when the event queue runs dry."""
+
+
+class StopSimulation(Exception):
+    """Raised to end :meth:`Environment.run` when the *until* event fires."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float with arbitrary units (this project uses seconds).
+    Events are processed in ``(time, priority, insertion order)`` order so
+    simultaneous events execute deterministically.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being executed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Queue ``event`` to be processed ``delay`` time units from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises :class:`EmptySchedule` if no events remain, and re-raises
+        exceptions from failed events that no process was waiting on (so
+        programming errors never pass silently).
+        """
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        self._now = when
+        callbacks = event.callbacks
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not callbacks and not isinstance(event, Process):
+            raise event._value
+        if not event._ok and isinstance(event, Process) and not callbacks:
+            # A process crashed and nobody was waiting for it: surface the
+            # error rather than letting it vanish.
+            raise event._value
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until simulation time reaches that value;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception if it failed).
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is None:
+                    # Already processed.
+                    if stop._ok:
+                        return stop._value
+                    raise stop._value
+                stop.callbacks.append(self._stop_callback)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not be before now ({self._now})"
+                    )
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                stop._triggered = True
+                self._eid += 1
+                # Schedule at the stop time with the most urgent priority so
+                # the clock never advances past it.
+                heapq.heappush(self._queue, (at, -1, self._eid, stop))
+                stop.callbacks.append(self._stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as end:
+            return end.args[0] if end.args else None
+        except EmptySchedule:
+            if stop is not None and not stop._triggered:
+                if isinstance(until, Event):
+                    raise SimulationError(
+                        "no more events; the until-event was never triggered"
+                    ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise event._value

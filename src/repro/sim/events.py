@@ -1,0 +1,279 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is generator-based: simulation processes are Python generators
+that ``yield`` :class:`Event` objects.  An event is *triggered* when it has
+been given a value (or an exception) and scheduled on the engine's event
+queue; once the engine pops it, the event is *processed* and its callbacks
+run.  This mirrors the design of mature DES libraries while remaining a
+small, fully self-contained implementation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .engine import Environment
+    from .process import Process
+
+#: Priority band for events that must run before ordinary events at the
+#: same timestamp (used for interrupts).
+URGENT = 0
+#: Priority band for ordinary events.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party supplies ``cause`` which the interrupted
+    process can inspect to decide how to react.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A happening in simulated time that processes may wait on.
+
+    Events move through three states: *untriggered* (just created),
+    *triggered* (value decided, queued on the engine), and *processed*
+    (callbacks executed).  Waiting on an already-processed event resumes
+    the waiter immediately at the current simulation time.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    #: Sentinel distinguishing "no value yet" from ``None`` values.
+    PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = Event.PENDING
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether a value (or exception) has been decided for this event."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks for this event have already run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded, ``False`` if it failed."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value.
+
+        Raises :class:`SimulationError` if the event is not yet triggered.
+        """
+        if self._value is Event.PENDING:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        The exception will be re-raised inside every process waiting on
+        this event.
+        """
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def _mark_processed(self) -> None:
+        self._processed = True
+        self.callbacks = None
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self._processed
+            else "triggered"
+            if self._triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env.schedule(self, priority=NORMAL, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {hex(id(self))}>"
+
+
+class ConditionValue:
+    """Mapping-like result of a condition event.
+
+    Maps each triggered child event to its value, preserving insertion
+    order so ``AllOf`` results read in the order events were passed.
+    """
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def keys(self):
+        return iter(self.events)
+
+    def values(self):
+        return (event._value for event in self.events)
+
+    def items(self):
+        return ((event, event._value) for event in self.events)
+
+    def todict(self) -> dict:
+        return {event: event._value for event in self.events}
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Waits for a combination of events (see :class:`AllOf`, :class:`AnyOf`).
+
+    ``evaluate`` receives the list of child events and the count of
+    triggered children and returns ``True`` once the condition holds.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list, int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must share one environment")
+
+        if not self._events:
+            self.succeed(ConditionValue())
+            return
+
+        for event in self._events:
+            if event._processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            # Only include children whose callbacks have already run;
+            # a pending Timeout is "triggered" from birth but has not
+            # actually happened yet.
+            if event._processed and event._ok:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: list, count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list, count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Triggers once every child event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any child event triggers."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.any_events, events)

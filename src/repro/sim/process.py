@@ -1,0 +1,163 @@
+"""Process abstraction: a generator driven by the simulation engine."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from .events import NORMAL, URGENT, Event, Interrupt, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.process = process
+        self._ok = True
+        self._value = None
+        self._triggered = True
+        self.callbacks.append(process._resume)
+        env.schedule(self, priority=URGENT)
+
+
+class Interruption(Event):
+    """Internal urgent event delivering an :class:`Interrupt` to a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any):
+        super().__init__(process.env)
+        if process._value is not Event.PENDING:
+            raise SimulationError(f"{process!r} has terminated; cannot interrupt")
+        if process is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._triggered = True
+        self.callbacks.append(self._interrupt)
+        self.env.schedule(self, priority=URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        process = self.process
+        if process._value is not Event.PENDING:
+            return  # terminated in the meantime
+        # Unsubscribe the process from whatever it was waiting for, then
+        # resume it with the Interrupt as a failure.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        process._resume(self)
+
+
+class Process(Event):
+    """Wraps a generator and executes it step by step.
+
+    A process is itself an event that triggers when the generator
+    terminates, so processes can wait on each other by yielding the
+    :class:`Process` object.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting for, if any."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` until the wrapped generator has terminated."""
+        return self._value is Event.PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt this process, raising :class:`Interrupt` inside it."""
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        env = self.env
+        env._active_process = self
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # Mark the failure as handed off so unhandled event
+                    # failures can still be detected elsewhere.
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                # Process finished successfully.
+                self._ok = True
+                self._value = stop.value
+                self._triggered = True
+                env.schedule(self, priority=NORMAL)
+                break
+            except BaseException as error:
+                # Process died with an exception: fail the process event so
+                # waiters see it; if nobody waits the engine re-raises.
+                self._ok = False
+                self._value = error
+                self._triggered = True
+                env.schedule(self, priority=NORMAL)
+                break
+
+            if next_event is None:
+                # "yield None" => yield control for one scheduling round.
+                event = Event(env).succeed()
+                if not event._processed:
+                    event.callbacks.append(self._resume)
+                    self._target = event
+                    break
+                continue
+
+            if not isinstance(next_event, Event):
+                error = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                try:
+                    self._generator.throw(error)
+                except BaseException as raised:
+                    self._ok = False
+                    self._value = raised
+                    self._triggered = True
+                    env.schedule(self, priority=NORMAL)
+                break
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Event already processed; continue immediately with its value.
+            event = next_event
+
+        env._active_process = None
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "terminated"
+        return f"<Process {self.name!r} {state} at {hex(id(self))}>"

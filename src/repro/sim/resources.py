@@ -1,0 +1,352 @@
+"""Shared resources for simulation processes.
+
+Provides the classic trio:
+
+* :class:`Resource` — a capacity-limited semaphore with FIFO queuing,
+  usable via ``with resource.request() as req: yield req``.
+* :class:`Store` / :class:`PriorityStore` — queues of items processes can
+  put to and get from.
+* :class:`Container` — a continuous quantity (bytes, tokens) with blocking
+  put/get.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request from the wait queue."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A semaphore-style resource with ``capacity`` concurrent users."""
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of users currently holding the resource."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim the resource; yield the returned event to wait for grant."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Release a granted claim (or cancel a pending one)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            self._cancel(request)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            request = self.queue.pop(0)
+            self.users.append(request)
+            request.succeed()
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._do_put(self)
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.filter = filter
+        store._do_get(self)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of arbitrary items."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list = []
+        self._getters: List[StoreGet] = []
+        self._putters: List[StorePut] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Queue ``item``; yield the event to wait for space if bounded."""
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Take the next (matching) item; yield the event to wait for one."""
+        return StoreGet(self, filter)
+
+    def _do_put(self, event: StorePut) -> None:
+        if len(self.items) < self.capacity:
+            self._insert(event.item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._putters.append(event)
+
+    def _do_get(self, event: StoreGet) -> None:
+        self._getters.append(event)
+        self._serve_getters()
+        self._serve_putters()
+
+    def _insert(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _next_index(self, filter: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if filter is None:
+            return 0 if self.items else None
+        for index, item in enumerate(self.items):
+            if filter(item):
+                return index
+        return None
+
+    def _serve_getters(self) -> None:
+        remaining = []
+        for getter in self._getters:
+            if getter.triggered:
+                continue
+            index = self._next_index(getter.filter)
+            if index is None:
+                remaining.append(getter)
+            else:
+                getter.succeed(self.items.pop(index))
+        self._getters = remaining
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter = self._putters.pop(0)
+            self._insert(putter.item)
+            putter.succeed()
+            self._serve_getters()
+
+
+class PriorityItem:
+    """Wrapper giving items an explicit priority (lower = earlier)."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: Any, item: Any):
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PriorityItem):
+            return NotImplemented
+        return self.priority == other.priority and self.item == other.item
+
+    def __repr__(self) -> str:
+        return f"PriorityItem({self.priority!r}, {self.item!r})"
+
+
+class _StableEntry:
+    """Heap entry giving mutually-incomparable-but-equal-priority items a
+    first-in-first-out tie-break.
+
+    Plain ``(item, seq)`` tuples only fall through to ``seq`` when the
+    items compare *equal* with ``==``; two :class:`PriorityItem` objects
+    with the same priority but different payloads are unordered instead,
+    letting the heap emit them in arbitrary order.  This wrapper compares
+    by the item's ordering first and insertion sequence on genuine ties.
+    """
+
+    __slots__ = ("item", "seq")
+
+    def __init__(self, item: Any, seq: int):
+        self.item = item
+        self.seq = seq
+
+    def __lt__(self, other: "_StableEntry") -> bool:
+        if self.item < other.item:
+            return True
+        if other.item < self.item:
+            return False
+        return self.seq < other.seq
+
+
+class PriorityStore(Store):
+    """A :class:`Store` that releases the smallest item first.
+
+    Items must be mutually comparable; use :class:`PriorityItem` to attach
+    explicit priorities.  Insertion order breaks ties (stable heap via a
+    monotonically increasing sequence number).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self._seq = 0
+
+    def _insert(self, item: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self.items, _StableEntry(item, self._seq))
+
+    def _next_index(self, filter: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if filter is None:
+            return 0 if self.items else None
+        for index, entry in enumerate(self.items):
+            if filter(entry.item):
+                return index
+        return None
+
+    def _serve_getters(self) -> None:
+        remaining = []
+        for getter in self._getters:
+            if getter.triggered:
+                continue
+            index = self._next_index(getter.filter)
+            if index is None:
+                remaining.append(getter)
+            elif index == 0:
+                entry = heapq.heappop(self.items)
+                getter.succeed(entry.item)
+            else:
+                entry = self.items.pop(index)
+                heapq.heapify(self.items)
+                getter.succeed(entry.item)
+        self._getters = remaining
+
+    def remove(self, predicate: Callable[[Any], bool]) -> list:
+        """Remove and return all queued items matching ``predicate``."""
+        removed = [entry.item for entry in self.items if predicate(entry.item)]
+        if removed:
+            kept = [entry for entry in self.items if not predicate(entry.item)]
+            self.items = kept
+            heapq.heapify(self.items)
+        return removed
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._do_put(self)
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        super().__init__(container.env)
+        self.amount = amount
+        container._do_get(self)
+
+
+class Container:
+    """A continuous stock of some quantity with blocking put/get."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if init < 0 or init > capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._putters: List[ContainerPut] = []
+        self._getters: List[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def _do_put(self, event: ContainerPut) -> None:
+        self._putters.append(event)
+        self._settle()
+
+    def _do_get(self, event: ContainerGet) -> None:
+        self._getters.append(event)
+        self._settle()
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                putter = self._putters[0]
+                if self._level + putter.amount <= self.capacity:
+                    self._level += putter.amount
+                    self._putters.pop(0)
+                    putter.succeed()
+                    progress = True
+            if self._getters:
+                getter = self._getters[0]
+                if self._level >= getter.amount:
+                    self._level -= getter.amount
+                    self._getters.pop(0)
+                    getter.succeed()
+                    progress = True

@@ -1,0 +1,47 @@
+"""Storage substrate: device models and the OS buffer cache.
+
+The physics layer of the reproduction.  Devices are processor-sharing
+byte movers whose aggregate bandwidth degrades with concurrency (hard
+disks thrash, SSDs barely notice, RAM not at all); the buffer cache gives
+each server a pinnable page cache with LRU eviction and background
+write-back — the substrate onto which Ignem's mmap/mlock migration maps.
+"""
+
+from .buffer_cache import BufferCache, CacheEntry
+from .device import (
+    GB,
+    MB,
+    Transfer,
+    TransferDevice,
+    UtilizationProbe,
+    no_penalty,
+    seek_thrash_penalty,
+)
+from .presets import (
+    DEFAULT_BLOCK_SIZE,
+    HDD_BANDWIDTH,
+    RAM_BANDWIDTH,
+    SSD_BANDWIDTH,
+    make_hdd,
+    make_ram,
+    make_ssd,
+)
+
+__all__ = [
+    "GB",
+    "MB",
+    "DEFAULT_BLOCK_SIZE",
+    "HDD_BANDWIDTH",
+    "RAM_BANDWIDTH",
+    "SSD_BANDWIDTH",
+    "BufferCache",
+    "CacheEntry",
+    "Transfer",
+    "TransferDevice",
+    "UtilizationProbe",
+    "make_hdd",
+    "make_ram",
+    "make_ssd",
+    "no_penalty",
+    "seek_thrash_penalty",
+]

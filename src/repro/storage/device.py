@@ -1,0 +1,367 @@
+"""Processor-sharing storage device model.
+
+A :class:`TransferDevice` serves any number of concurrent byte transfers.
+The device has an *aggregate* bandwidth that depends on the number of
+concurrent streams through a pluggable concurrency-penalty curve: one
+sequential stream gets the full sequential bandwidth, while many
+concurrent streams on a spinning disk interleave and the aggregate
+degrades.  This is the physical effect Ignem exploits — a dedicated
+sequential migration stream moves bytes more efficiently than a busy
+mapper wave (paper Section III-A1, Figure 1, and the Ignem+10s result in
+Section IV-F).
+
+Sharing is max-min fair: each transfer may carry a ``rate_cap`` (e.g. the
+mmap/mlock page-in path of Ignem's slaves is self-limited well below raw
+disk bandwidth); capped streams take at most their cap and the slack is
+redistributed to the unconstrained streams.  Whenever the active set
+changes, progress is settled at the old rates and the next completion is
+rescheduled.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from ..sim.engine import Environment
+from ..sim.events import Event
+
+#: Tolerance (in bytes) below which a transfer counts as finished.
+#: Sub-byte remainders are float noise, never real data.
+_EPSILON_BYTES = 1e-2
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+class Transfer:
+    """One in-flight byte transfer on a :class:`TransferDevice`."""
+
+    __slots__ = (
+        "id",
+        "nbytes",
+        "remaining",
+        "done",
+        "tag",
+        "rate_cap",
+        "rate",
+        "submitted_at",
+        "started_at",
+    )
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        nbytes: float,
+        done: Event,
+        tag: Any = None,
+        rate_cap: Optional[float] = None,
+    ):
+        self.id = next(Transfer._ids)
+        self.nbytes = float(nbytes)
+        self.remaining = float(nbytes)
+        self.done = done
+        self.tag = tag
+        self.rate_cap = rate_cap
+        #: Current allocated rate (bytes/s); set by the device.
+        self.rate = 0.0
+        self.submitted_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Transfer #{self.id} {self.nbytes / MB:.1f}MB "
+            f"remaining={self.remaining / MB:.1f}MB tag={self.tag!r}>"
+        )
+
+
+def no_penalty(streams: int) -> float:
+    """Aggregate efficiency is 1.0 regardless of concurrency (RAM-like)."""
+    return 1.0
+
+
+def seek_thrash_penalty(alpha: float) -> Callable[[int], float]:
+    """HDD-style penalty: aggregate efficiency 1 / (1 + alpha * (n - 1)).
+
+    With ``alpha=0`` the device is a pure PS server; larger ``alpha``
+    makes concurrent streams collectively slower than one sequential
+    stream, modeling seek overhead between interleaved readers.
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be non-negative, got {alpha}")
+
+    def penalty(streams: int) -> float:
+        if streams <= 1:
+            return 1.0
+        return 1.0 / (1.0 + alpha * (streams - 1))
+
+    return penalty
+
+
+class TransferDevice:
+    """A storage device serving concurrent transfers by max-min fair
+    processor sharing.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Human-readable identifier (shows up in metrics).
+    bandwidth:
+        Sequential (single-stream) bandwidth in bytes/second.
+    latency:
+        Fixed per-transfer setup time in seconds (seek + request setup).
+        Modeled as a delay before the transfer joins the shared stream.
+    penalty:
+        Aggregate-efficiency curve ``f(n) -> (0, 1]``; the device moves
+        at most ``bandwidth * f(n)`` bytes/second across ``n`` streams.
+    default_rate_cap:
+        Per-stream ceiling applied to transfers that do not specify their
+        own ``rate_cap``.  Lets DRAM be modeled as a huge aggregate whose
+        individual streams still run at memcpy speed.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        bandwidth: float,
+        latency: float = 0.0,
+        penalty: Optional[Callable[[int], float]] = None,
+        default_rate_cap: Optional[float] = None,
+    ):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        if default_rate_cap is not None and default_rate_cap <= 0:
+            raise ValueError(
+                f"default_rate_cap must be positive, got {default_rate_cap}"
+            )
+        self.env = env
+        self.name = name
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.penalty = penalty or no_penalty
+        self.default_rate_cap = default_rate_cap
+
+        self._active: List[Transfer] = []
+        self._epoch = 0
+        self._expected_finisher: Optional[Transfer] = None
+        self._last_update = env.now
+        # Instrumentation integrals.
+        self._busy_time = 0.0
+        self._bytes_moved = 0.0
+
+    # -- public API ----------------------------------------------------------
+
+    def transfer(
+        self,
+        nbytes: float,
+        tag: Any = None,
+        rate_cap: Optional[float] = None,
+    ) -> Event:
+        """Start moving ``nbytes``; returns an event that fires when done.
+
+        ``rate_cap`` bounds this transfer's share (bytes/s) — the slack is
+        redistributed to unconstrained streams.  The event's value is the
+        :class:`Transfer` record.  Zero-byte transfers complete after just
+        the device latency.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        if rate_cap is not None and rate_cap <= 0:
+            raise ValueError(f"rate_cap must be positive, got {rate_cap}")
+        done = Event(self.env)
+        record = Transfer(
+            nbytes, done, tag=tag, rate_cap=rate_cap or self.default_rate_cap
+        )
+        record.submitted_at = self.env.now
+        if self.latency > 0:
+            delay = self.env.timeout(self.latency)
+            delay.callbacks.append(lambda _event, rec=record: self._admit(rec))
+        else:
+            self._admit(record)
+        return done
+
+    def cancel(self, done_event: Event) -> bool:
+        """Abort the in-flight transfer whose done-event is ``done_event``.
+
+        Returns ``True`` if a transfer was cancelled.  The done event is
+        never triggered for a cancelled transfer.
+        """
+        for record in self._active:
+            if record.done is done_event:
+                self._settle()
+                self._active.remove(record)
+                self._reschedule()
+                return True
+        return False
+
+    @property
+    def active_transfers(self) -> int:
+        """Number of transfers currently sharing the device."""
+        return len(self._active)
+
+    @property
+    def queue_depth(self) -> int:
+        """Alias for :attr:`active_transfers` (PS device has no queue)."""
+        return len(self._active)
+
+    @property
+    def busy_time(self) -> float:
+        """Total simulated seconds during which >=1 transfer was active."""
+        self._settle()
+        return self._busy_time
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes transferred so far."""
+        self._settle()
+        return self._bytes_moved
+
+    def current_rate(self) -> float:
+        """Bytes/second of the slowest active stream (0 when idle)."""
+        if not self._active:
+            return 0.0
+        rates = self._allocation()
+        return min(rates.values())
+
+    def aggregate_rate(self) -> float:
+        """Total bytes/second across all active streams right now."""
+        if not self._active:
+            return 0.0
+        return sum(self._allocation().values())
+
+    def estimate_time(self, nbytes: float, extra_streams: int = 0) -> float:
+        """Rough time to move ``nbytes`` at the current concurrency level.
+
+        A planning helper, not a guarantee: assumes the active set stays
+        as it is plus ``extra_streams`` additional streams.
+        """
+        streams = len(self._active) + max(1, extra_streams)
+        rate = self.bandwidth * self.penalty(streams) / streams
+        return self.latency + nbytes / rate
+
+    # -- internals -------------------------------------------------------------
+
+    def _admit(self, record: Transfer) -> None:
+        self._settle()
+        record.started_at = self.env.now
+        self._active.append(record)
+        if record.remaining <= _EPSILON_BYTES:
+            self._active.remove(record)
+            record.done.succeed(record)
+            return
+        self._reschedule()
+
+    def _allocation(self) -> Dict[Transfer, float]:
+        """Max-min fair rates for the current active set (water-filling)."""
+        streams = len(self._active)
+        budget = self.bandwidth * self.penalty(streams)
+        rates: Dict[Transfer, float] = {}
+        # Grant ascending by cap so slack from tightly-capped streams
+        # flows to the unconstrained ones.
+        pending = sorted(
+            self._active,
+            key=lambda t: t.rate_cap if t.rate_cap is not None else float("inf"),
+        )
+        count = streams
+        for record in pending:
+            fair = budget / count
+            rate = fair if record.rate_cap is None else min(record.rate_cap, fair)
+            rates[record] = rate
+            budget -= rate
+            count -= 1
+        return rates
+
+    def _settle(self) -> None:
+        """Account progress for all active transfers up to ``env.now``
+        at the rates fixed by the last reschedule."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._active:
+            return
+        moved = 0.0
+        for record in self._active:
+            delta = record.rate * elapsed
+            record.remaining -= delta
+            moved += delta
+        self._busy_time += elapsed
+        self._bytes_moved += moved
+
+    def _reschedule(self) -> None:
+        """Fix rates for the active set and schedule the next completion."""
+        self._epoch += 1
+        self._expected_finisher = None
+        if not self._active:
+            return
+        epoch = self._epoch
+        rates = self._allocation()
+        for record, rate in rates.items():
+            record.rate = rate
+        projected = min(
+            self._active,
+            key=lambda r: r.remaining / r.rate if r.rate > 0 else float("inf"),
+        )
+        if projected.rate <= 0:
+            return  # everything is stalled (all caps zero — impossible)
+        # Remember who this wakeup is for: if the epoch still matches when
+        # it fires, the active set (and hence the rates) never changed, so
+        # the projected transfer has truly finished even when float
+        # round-off leaves a sub-epsilon residue that a same-instant
+        # timeout could never burn down.
+        self._expected_finisher = projected
+        dt = max(0.0, projected.remaining / projected.rate)
+        wakeup = self.env.timeout(dt)
+        wakeup.callbacks.append(lambda _event: self._wakeup(epoch))
+
+    def _wakeup(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # superseded by a newer reschedule
+        self._settle()
+        if self._expected_finisher is not None:
+            self._expected_finisher.remaining = 0.0
+        finished = [r for r in self._active if r.remaining <= _EPSILON_BYTES]
+        for record in finished:
+            self._active.remove(record)
+        # Reschedule *before* succeeding the events: completion callbacks
+        # may start new transfers on this device synchronously.
+        self._reschedule()
+        for record in finished:
+            record.remaining = 0.0
+            record.done.succeed(record)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TransferDevice {self.name!r} bw={self.bandwidth / MB:.0f}MB/s "
+            f"active={len(self._active)}>"
+        )
+
+
+class UtilizationProbe:
+    """Samples a device's busy fraction over fixed windows.
+
+    Used by the Fig 4 reproduction to derive per-server disk utilization
+    timelines the way the paper derives them from the Google trace.
+    """
+
+    def __init__(self, env: Environment, device: TransferDevice, window: float):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.env = env
+        self.device = device
+        self.window = float(window)
+        self.samples: List[float] = []
+        self._last_busy = device.busy_time
+        env.process(self._run(), name=f"util-probe-{device.name}")
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.window)
+            busy = self.device.busy_time
+            self.samples.append((busy - self._last_busy) / self.window)
+            self._last_busy = busy

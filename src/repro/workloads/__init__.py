@@ -1,0 +1,33 @@
+"""Workload generators: SWIM trace, sort, wordcount, and the synthetic
+Google cluster trace used by the Section II feasibility analyses."""
+
+from .google_trace import GoogleTraceGenerator, GoogleTraceJob, TaskUsageInterval
+from .sort import SORT_INPUT_BYTES, SORT_INPUT_PATH, make_sort_spec
+from .swim import SwimGenerator, SwimJob, size_bin, to_specs
+from .trace_io import (
+    load_google_jobs,
+    load_swim_trace,
+    save_google_jobs,
+    save_swim_trace,
+)
+from .wordcount import DEFAULT_SIZES_GB, make_wordcount_spec, wordcount_path
+
+__all__ = [
+    "DEFAULT_SIZES_GB",
+    "GoogleTraceGenerator",
+    "GoogleTraceJob",
+    "SORT_INPUT_BYTES",
+    "SORT_INPUT_PATH",
+    "SwimGenerator",
+    "SwimJob",
+    "TaskUsageInterval",
+    "load_google_jobs",
+    "load_swim_trace",
+    "make_sort_spec",
+    "make_wordcount_spec",
+    "save_google_jobs",
+    "save_swim_trace",
+    "size_bin",
+    "to_specs",
+    "wordcount_path",
+]

@@ -1,0 +1,173 @@
+"""Synthetic Google cluster trace (paper Section II-C).
+
+The real trace (Reiss et al., 12k+ servers, one month) is not available
+offline, so this generator synthesizes rows calibrated to every aggregate
+the paper uses:
+
+* job queueing delays — lognormal with **median 1.8s and mean 8.8s**
+  (the paper's reported values);
+* per-job disk read time — lognormal calibrated so that for ~81% of jobs
+  the lead-time exceeds the read time (Fig 3's headline number);
+* per-server 5-minute usage intervals with task IO times whose derived
+  utilization averages ~3% over 24h and stays under ~5% for a 40-server
+  mean (Fig 4).
+
+The *analysis* code consumes these rows through the same computation the
+paper describes (sum task IO per job; assume IO uniform over intervals;
+1s-granularity utilization averaged over 5-minute windows), so swapping
+in the real trace would only change this generator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim.rand import RandomSource
+
+#: Lognormal parameters for queueing delay: median 1.8s => mu = ln(1.8);
+#: mean 8.8s => sigma = sqrt(2 * (ln 8.8 - mu)).
+QUEUE_MU = math.log(1.8)
+QUEUE_SIGMA = math.sqrt(2 * (math.log(8.8) - QUEUE_MU))
+
+#: Per-job total disk-read-time lognormal, calibrated so that
+#: P(read < queue) ~= 0.81 given the queue distribution above:
+#: (QUEUE_MU - READ_MU) / sqrt(READ_SIGMA^2 + QUEUE_SIGMA^2) = z_{0.81}.
+READ_SIGMA = 2.0
+_Z_81 = 0.8779  # standard normal quantile for 0.81
+READ_MU = QUEUE_MU - _Z_81 * math.sqrt(READ_SIGMA**2 + QUEUE_SIGMA**2)
+
+#: Mean per-interval disk utilization for a server (lognormal draw);
+#: e^(mu + sigma^2/2) with these values gives ~3.1%.
+UTIL_SIGMA = 1.0
+UTIL_MU = math.log(0.031) - UTIL_SIGMA**2 / 2
+
+
+@dataclass(frozen=True)
+class GoogleTraceJob:
+    """One job row: submission, queueing, and its tasks' disk IO times."""
+
+    job_id: int
+    submit_time: float
+    queue_delay: float
+    task_io_times: Tuple[float, ...]
+
+    @property
+    def lead_time(self) -> float:
+        """Paper definition: submission to first task start = queue delay."""
+        return self.queue_delay
+
+    @property
+    def total_read_time(self) -> float:
+        """Sum of disk IO time over all the job's tasks (paper's Fig 3)."""
+        return sum(self.task_io_times)
+
+
+@dataclass(frozen=True)
+class TaskUsageInterval:
+    """One task's reported IO within one trace reporting interval."""
+
+    server: int
+    start: float
+    end: float
+    io_time: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("interval must have positive length")
+        if self.io_time < 0 or self.io_time > self.end - self.start:
+            raise ValueError("io_time must fit within the interval")
+
+
+class GoogleTraceGenerator:
+    """Deterministic synthesizer for the two Section II analyses."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = RandomSource(seed).spawn("google-trace")
+
+    def generate_jobs(
+        self, num_jobs: int = 10_000, mean_interarrival: float = 0.5
+    ) -> List[GoogleTraceJob]:
+        """Job rows for the lead-time sufficiency analysis (Fig 3)."""
+        if num_jobs < 1:
+            raise ValueError("num_jobs must be >= 1")
+        jobs: List[GoogleTraceJob] = []
+        submit = 0.0
+        for job_id in range(num_jobs):
+            submit += self.rng.expovariate(1.0 / mean_interarrival)
+            queue_delay = self.rng.lognormal(QUEUE_MU, QUEUE_SIGMA)
+            total_read = self.rng.lognormal(READ_MU, READ_SIGMA)
+            num_tasks = 1 + int(self.rng.lognormal(1.0, 1.0))
+            io_times = self._split(total_read, num_tasks)
+            jobs.append(
+                GoogleTraceJob(
+                    job_id=job_id,
+                    submit_time=submit,
+                    queue_delay=queue_delay,
+                    task_io_times=tuple(io_times),
+                )
+            )
+        return jobs
+
+    #: Relative activity per day of a week-long load cycle.  The paper
+    #: analyzes a busy 24h window (mean ~3.1%) of a month whose overall
+    #: mean is ~1.3%; this pattern (mean ~0.42 of the busiest day)
+    #: reproduces that day-vs-month gap.
+    WEEKLY_PATTERN = (1.0, 0.75, 0.5, 0.35, 0.25, 0.15, 0.1)
+
+    def day_factor(self, day: int) -> float:
+        """Relative activity of ``day`` within the weekly load cycle."""
+        return self.WEEKLY_PATTERN[day % len(self.WEEKLY_PATTERN)]
+
+    def generate_server_usage(
+        self,
+        num_servers: int = 40,
+        duration: float = 24 * 3600.0,
+        report_interval: float = 300.0,
+        mean_tasks_per_server: float = 10.0,
+        daily_pattern: bool = False,
+    ) -> List[TaskUsageInterval]:
+        """Per-server usage rows for the disk-utilization analysis (Fig 4).
+
+        Each server reports every ``report_interval`` seconds (the trace
+        reports IO in intervals of up to 5 minutes); the interval's total
+        IO time is drawn so derived utilization matches the paper's ~3%
+        mean, then split over the tasks running in that interval.
+
+        With ``daily_pattern=True`` activity follows the weekly cycle in
+        :attr:`WEEKLY_PATTERN` (day 0 busiest): a month-long generation
+        then averages ~1.3% while its busiest day averages ~3.1%,
+        matching the paper's two numbers.
+        """
+        if num_servers < 1:
+            raise ValueError("num_servers must be >= 1")
+        intervals: List[TaskUsageInterval] = []
+        steps = int(duration / report_interval)
+        for server in range(num_servers):
+            for step in range(steps):
+                start = step * report_interval
+                end = start + report_interval
+                factor = 1.0
+                if daily_pattern:
+                    factor = self.day_factor(int(start // 86400))
+                utilization = min(
+                    1.0, factor * self.rng.lognormal(UTIL_MU, UTIL_SIGMA)
+                )
+                total_io = utilization * report_interval
+                num_tasks = max(1, self.rng.np.poisson(mean_tasks_per_server))
+                for io_time in self._split(total_io, num_tasks):
+                    intervals.append(
+                        TaskUsageInterval(
+                            server=server, start=start, end=end, io_time=io_time
+                        )
+                    )
+        return intervals
+
+    def _split(self, total: float, parts: int) -> List[float]:
+        """Randomly split ``total`` into ``parts`` non-negative shares."""
+        if parts == 1:
+            return [total]
+        weights = [self.rng.uniform(0.1, 1.0) for _ in range(parts)]
+        scale = total / sum(weights)
+        return [w * scale for w in weights]

@@ -1,0 +1,167 @@
+"""SWIM: synthetic Facebook-derived trace workload (paper Section IV-B1).
+
+The paper runs the first 200 jobs of the SWIM Facebook trace, scaled so
+the total input is 170GB, with inter-arrival times halved.  The trace
+itself is not redistributable here, so this module synthesizes a workload
+matching every marginal the paper reports:
+
+* 200 jobs, ~170GB of total input;
+* 85% of jobs read 64MB or less; the largest jobs read up to 24GB
+  ("abundance of short jobs and a heavy tail");
+* per-job shuffle and output sizes (SWIM records all three);
+* Poisson arrivals with the halved mean inter-arrival gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from ..mapreduce.spec import JobSpec
+from ..sim.rand import RandomSource
+from ..storage.device import GB, MB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import Cluster
+
+
+@dataclass(frozen=True)
+class SwimJob:
+    """One job row of the synthesized SWIM trace."""
+
+    index: int
+    arrival_time: float
+    input_bytes: float
+    shuffle_bytes: float
+    output_bytes: float
+
+    @property
+    def name(self) -> str:
+        return f"swim-{self.index:03d}"
+
+    @property
+    def input_path(self) -> str:
+        return f"/swim/input-{self.index:03d}"
+
+
+class SwimGenerator:
+    """Synthesizes SWIM-shaped workloads deterministically from a seed."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = RandomSource(seed).spawn("swim")
+
+    def generate(
+        self,
+        num_jobs: int = 200,
+        total_bytes: float = 170 * GB,
+        small_fraction: float = 0.85,
+        small_max: float = 64 * MB,
+        tail_max: float = 24 * GB,
+        mean_interarrival: float = 25.0,
+    ) -> List[SwimJob]:
+        """Build the job list.
+
+        Small jobs draw log-uniformly in (1MB, ``small_max``]; tail jobs
+        draw from a lognormal whose mass is rescaled so the workload total
+        matches ``total_bytes`` with the largest job clipped to
+        ``tail_max``.
+        """
+        if num_jobs < 1:
+            raise ValueError("num_jobs must be >= 1")
+        if not 0 <= small_fraction <= 1:
+            raise ValueError("small_fraction must be in [0, 1]")
+
+        num_small = round(num_jobs * small_fraction)
+        num_tail = num_jobs - num_small
+
+        small_sizes = [
+            self._log_uniform(1 * MB, small_max) for _ in range(num_small)
+        ]
+        # The tail spreads from just above 64MB into the multi-GB range;
+        # the wide sigma leaves a thin 64-512MB band (the paper notes the
+        # workload has "few medium sized jobs") under a heavy top end.
+        tail_sizes = self._tail_sizes(
+            num_tail, total_bytes - sum(small_sizes), small_max, tail_max
+        )
+
+        sizes = small_sizes + tail_sizes
+        self.rng.shuffle(sizes)
+
+        jobs: List[SwimJob] = []
+        arrival = 0.0
+        for index, input_bytes in enumerate(sizes):
+            arrival += self.rng.expovariate(1.0 / mean_interarrival)
+            shuffle_fraction = self.rng.uniform(0.05, 0.5)
+            output_fraction = self.rng.uniform(0.1, 0.5)
+            shuffle_bytes = input_bytes * shuffle_fraction
+            jobs.append(
+                SwimJob(
+                    index=index,
+                    arrival_time=arrival,
+                    input_bytes=input_bytes,
+                    shuffle_bytes=shuffle_bytes,
+                    output_bytes=shuffle_bytes * output_fraction,
+                )
+            )
+        return jobs
+
+    def _log_uniform(self, low: float, high: float) -> float:
+        import math
+
+        return math.exp(self.rng.uniform(math.log(low), math.log(high)))
+
+    def _tail_sizes(
+        self, count: int, target_total: float, floor: float, ceiling: float
+    ) -> List[float]:
+        if count == 0:
+            return []
+        raw = [self.rng.lognormal(0.0, 2.2) for _ in range(count)]
+        scale = target_total / sum(raw)
+        sizes = [min(ceiling, max(floor * 1.01, value * scale)) for value in raw]
+        # Correction passes: clipping at the ceiling loses bytes; scale the
+        # unclipped jobs *proportionally* so the workload total holds while
+        # the small end of the tail (the 64-512MB "medium" band) survives.
+        for _ in range(4):
+            deficit = target_total - sum(sizes)
+            unclipped = [i for i, v in enumerate(sizes) if v < ceiling]
+            if deficit <= 0 or not unclipped:
+                break
+            unclipped_sum = sum(sizes[i] for i in unclipped)
+            factor = (unclipped_sum + deficit) / unclipped_sum
+            for i in unclipped:
+                sizes[i] = min(ceiling, sizes[i] * factor)
+        return sizes
+
+
+def materialize(cluster: "Cluster", jobs: Sequence[SwimJob]) -> None:
+    """Create every job's input file in the cluster's DFS."""
+    for job in jobs:
+        cluster.client.create_file(job.input_path, job.input_bytes)
+
+
+def to_specs(jobs: Sequence[SwimJob]) -> Tuple[List[JobSpec], List[float]]:
+    """Convert trace rows to engine job specs plus arrival times."""
+    specs = []
+    arrivals = []
+    for job in jobs:
+        num_reduces = max(1, min(16, int(job.shuffle_bytes // (128 * MB)) + 1))
+        specs.append(
+            JobSpec(
+                name=job.name,
+                input_paths=(job.input_path,),
+                shuffle_bytes=job.shuffle_bytes,
+                output_bytes=job.output_bytes,
+                num_reduces=num_reduces,
+            )
+        )
+        arrivals.append(job.arrival_time)
+    return specs, arrivals
+
+
+def size_bin(input_bytes: float) -> str:
+    """The paper's Fig 5 bins: <=64MB, 64-512MB, >512MB."""
+    if input_bytes <= 64 * MB:
+        return "small"
+    if input_bytes <= 512 * MB:
+        return "medium"
+    return "large"

@@ -1,0 +1,117 @@
+"""Trace file input/output.
+
+The real SWIM repository distributes workloads as tab-separated files
+(one job per line) and the Google trace as CSV tables.  These helpers
+read and write compatible flat files so users with access to the actual
+traces can replay them through the same experiment harnesses that run on
+our synthesized equivalents.
+
+SWIM format (tab-separated, one job per line)::
+
+    <job_index> <arrival_time_s> <input_bytes> <shuffle_bytes> <output_bytes>
+
+Google-trace job format (CSV with header)::
+
+    job_id,submit_time,queue_delay,task_io_times
+
+where ``task_io_times`` is a ``;``-joined list of per-task disk IO
+seconds.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import List, Sequence, Union
+
+from .google_trace import GoogleTraceJob
+from .swim import SwimJob
+
+PathLike = Union[str, pathlib.Path]
+
+
+# -- SWIM ---------------------------------------------------------------------
+
+
+def save_swim_trace(jobs: Sequence[SwimJob], path: PathLike) -> None:
+    """Write a SWIM-style tab-separated trace file."""
+    lines = []
+    for job in jobs:
+        lines.append(
+            f"{job.index}\t{job.arrival_time:.6f}\t{job.input_bytes:.0f}"
+            f"\t{job.shuffle_bytes:.0f}\t{job.output_bytes:.0f}"
+        )
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_swim_trace(path: PathLike) -> List[SwimJob]:
+    """Read a SWIM-style tab-separated trace file."""
+    jobs: List[SwimJob] = []
+    for line_number, line in enumerate(
+        pathlib.Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) != 5:
+            raise ValueError(
+                f"{path}:{line_number}: expected 5 tab-separated fields, "
+                f"got {len(fields)}"
+            )
+        index, arrival, input_bytes, shuffle_bytes, output_bytes = fields
+        jobs.append(
+            SwimJob(
+                index=int(index),
+                arrival_time=float(arrival),
+                input_bytes=float(input_bytes),
+                shuffle_bytes=float(shuffle_bytes),
+                output_bytes=float(output_bytes),
+            )
+        )
+    return jobs
+
+
+# -- Google trace -----------------------------------------------------------------
+
+
+def save_google_jobs(jobs: Sequence[GoogleTraceJob], path: PathLike) -> None:
+    """Write Google-trace job rows as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["job_id", "submit_time", "queue_delay", "task_io_times"])
+        for job in jobs:
+            writer.writerow(
+                [
+                    job.job_id,
+                    f"{job.submit_time:.6f}",
+                    f"{job.queue_delay:.6f}",
+                    ";".join(f"{t:.6f}" for t in job.task_io_times),
+                ]
+            )
+
+
+def load_google_jobs(path: PathLike) -> List[GoogleTraceJob]:
+    """Read Google-trace job rows from CSV."""
+    jobs: List[GoogleTraceJob] = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"job_id", "submit_time", "queue_delay", "task_io_times"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise ValueError(
+                f"{path}: expected CSV header with columns {sorted(required)}"
+            )
+        for row in reader:
+            io_field = row["task_io_times"]
+            io_times = (
+                tuple(float(x) for x in io_field.split(";")) if io_field else ()
+            )
+            jobs.append(
+                GoogleTraceJob(
+                    job_id=int(row["job_id"]),
+                    submit_time=float(row["submit_time"]),
+                    queue_delay=float(row["queue_delay"]),
+                    task_io_times=io_times,
+                )
+            )
+    return jobs

@@ -1,0 +1,48 @@
+"""Standalone wordcount jobs (paper Sections IV-E and IV-F, Figure 8).
+
+The paper varies the input from 1GB to 12GB (a 400MB text corpus
+concatenated onto itself) to study how migration benefit relates to input
+size and lead-time, including the *Ignem+10s* variant that inserts 10s of
+artificial lead-time in the job submitter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..mapreduce.spec import JobSpec
+from ..storage.device import GB, MB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import Cluster
+
+#: The sweep used in Figure 8, extended past the paper's 12GB so the
+#: Ignem+10s crossover (Section IV-F) is visible on our calibration.
+DEFAULT_SIZES_GB: Sequence[float] = (1, 2, 4, 8, 12, 16, 24)
+
+
+def wordcount_path(input_gb: float) -> str:
+    return f"/wordcount/input-{input_gb:g}gb"
+
+
+def make_wordcount_spec(input_gb: float) -> JobSpec:
+    """Wordcount: CPU-heavy mappers, tiny aggregated shuffle/output."""
+    input_bytes = input_gb * GB
+    # Word histograms aggregate hard: shuffle is a few percent of input,
+    # output smaller still (the corpus repeats, so the vocabulary
+    # saturates quickly).
+    shuffle_bytes = min(200 * MB, 0.03 * input_bytes)
+    return JobSpec(
+        name=f"wordcount-{input_gb:g}gb",
+        input_paths=(wordcount_path(input_gb),),
+        shuffle_bytes=shuffle_bytes,
+        output_bytes=0.5 * shuffle_bytes,
+        num_reduces=4,
+        # Tokenizing + hashing every byte: ~40MB/s of mapper compute.
+        map_cpu_factor=10.0,
+        reduce_cpu_factor=1.0,
+    )
+
+
+def materialize(cluster: "Cluster", input_gb: float) -> None:
+    cluster.client.create_file(wordcount_path(input_gb), input_gb * GB)

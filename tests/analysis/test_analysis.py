@@ -1,0 +1,159 @@
+"""Tests for the Section II analyses (lead-time, utilization, memory)."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_lead_time,
+    mean_utilization_timeline,
+    overall_mean_utilization,
+    ratio_cdf,
+    server_utilization,
+    worst_case_memory,
+)
+from repro.storage import GB, MB
+from repro.workloads.google_trace import GoogleTraceJob, TaskUsageInterval
+
+
+def make_job(job_id, queue_delay, io_times):
+    return GoogleTraceJob(
+        job_id=job_id,
+        submit_time=float(job_id),
+        queue_delay=queue_delay,
+        task_io_times=tuple(io_times),
+    )
+
+
+class TestLeadTime:
+    def test_sufficient_fraction_counts_correctly(self):
+        jobs = [
+            make_job(0, queue_delay=10, io_times=[1, 2]),  # sufficient
+            make_job(1, queue_delay=1, io_times=[5]),  # insufficient
+            make_job(2, queue_delay=4, io_times=[1, 1, 1]),  # sufficient
+            make_job(3, queue_delay=2, io_times=[2, 1]),  # insufficient
+        ]
+        analysis = analyze_lead_time(jobs)
+        assert analysis.sufficient_fraction == 0.5
+
+    def test_ratios_are_read_over_lead(self):
+        jobs = [make_job(0, queue_delay=4, io_times=[2])]
+        analysis = analyze_lead_time(jobs)
+        assert analysis.ratios == (0.5,)
+
+    def test_zero_lead_time_is_infinite_ratio(self):
+        jobs = [make_job(0, queue_delay=0, io_times=[1])]
+        analysis = analyze_lead_time(jobs)
+        assert analysis.ratios[0] == float("inf")
+        assert analysis.sufficient_fraction == 0.0
+
+    def test_mean_and_median(self):
+        jobs = [
+            make_job(0, queue_delay=1, io_times=[1]),
+            make_job(1, queue_delay=3, io_times=[1]),
+            make_job(2, queue_delay=8, io_times=[1]),
+        ]
+        analysis = analyze_lead_time(jobs)
+        assert analysis.mean_lead_time == pytest.approx(4.0)
+        assert analysis.median_lead_time == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_lead_time([])
+
+    def test_cdf_excludes_infinite_but_keeps_denominator(self):
+        jobs = [
+            make_job(0, queue_delay=0, io_times=[1]),
+            make_job(1, queue_delay=2, io_times=[1]),
+        ]
+        ratios, fractions = ratio_cdf(analyze_lead_time(jobs))
+        assert ratios == [0.5]
+        assert fractions == [0.5]
+
+
+class TestDiskUtilization:
+    def test_uniform_interval_spreads_io_evenly(self):
+        rows = [TaskUsageInterval(server=0, start=0, end=100, io_time=50)]
+        timelines = server_utilization(rows, duration=100, window=50)
+        util = timelines[0].utilization
+        assert util == (pytest.approx(0.5), pytest.approx(0.5))
+
+    def test_concurrent_tasks_sum(self):
+        rows = [
+            TaskUsageInterval(server=0, start=0, end=100, io_time=30),
+            TaskUsageInterval(server=0, start=0, end=100, io_time=20),
+        ]
+        timelines = server_utilization(rows, duration=100, window=100)
+        assert timelines[0].utilization[0] == pytest.approx(0.5)
+
+    def test_utilization_clipped_at_one(self):
+        rows = [
+            TaskUsageInterval(server=0, start=0, end=10, io_time=10),
+            TaskUsageInterval(server=0, start=0, end=10, io_time=10),
+        ]
+        timelines = server_utilization(rows, duration=10, window=10)
+        assert timelines[0].utilization[0] <= 1.0
+
+    def test_servers_kept_separate(self):
+        rows = [
+            TaskUsageInterval(server=0, start=0, end=10, io_time=10),
+            TaskUsageInterval(server=1, start=0, end=10, io_time=0),
+        ]
+        timelines = server_utilization(rows, duration=10, window=10)
+        assert timelines[0].utilization[0] > timelines[1].utilization[0]
+
+    def test_mean_timeline_averages_servers(self):
+        rows = [
+            TaskUsageInterval(server=0, start=0, end=10, io_time=10),
+            TaskUsageInterval(server=1, start=0, end=10, io_time=0),
+        ]
+        timelines = server_utilization(rows, duration=10, window=10)
+        mean_line = mean_utilization_timeline(timelines)
+        assert mean_line.utilization[0] == pytest.approx(0.5)
+
+    def test_overall_mean(self):
+        rows = [
+            TaskUsageInterval(server=0, start=0, end=10, io_time=5),
+            TaskUsageInterval(server=0, start=10, end=20, io_time=0),
+        ]
+        timelines = server_utilization(rows, duration=20, window=10)
+        assert overall_mean_utilization(timelines) == pytest.approx(0.25)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            server_utilization([], duration=0)
+        with pytest.raises(ValueError):
+            mean_utilization_timeline({})
+        with pytest.raises(ValueError):
+            overall_mean_utilization({})
+
+    def test_peak_property(self):
+        rows = [
+            TaskUsageInterval(server=0, start=0, end=10, io_time=8),
+            TaskUsageInterval(server=0, start=10, end=20, io_time=1),
+        ]
+        timelines = server_utilization(rows, duration=20, window=10)
+        assert timelines[0].peak == pytest.approx(0.8)
+
+
+class TestMemorySufficiency:
+    def test_paper_worst_case_is_12_5_gb(self):
+        result = worst_case_memory()
+        assert result.worst_case_bytes == pytest.approx(12.5 * GB)
+        assert result.sufficient
+
+    def test_ram_fraction(self):
+        result = worst_case_memory(
+            concurrent_tasks=10, block_size=256 * MB, server_ram=10 * GB
+        )
+        assert result.ram_fraction == pytest.approx(0.25)
+
+    def test_insufficient_detected(self):
+        result = worst_case_memory(
+            concurrent_tasks=100, block_size=1 * GB, server_ram=10 * GB
+        )
+        assert not result.sufficient
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_memory(concurrent_tasks=0)
+        with pytest.raises(ValueError):
+            worst_case_memory(block_size=0)

@@ -1,0 +1,32 @@
+"""Fixtures for Ignem core tests: a small cluster with Ignem enabled."""
+
+import pytest
+
+from repro import IgnemConfig, build_paper_testbed
+from repro.storage import GB, MB
+
+
+@pytest.fixture
+def cluster():
+    """4-node cluster, replication 2, Ignem enabled with a small buffer."""
+    c = build_paper_testbed(
+        num_nodes=4,
+        replication=2,
+        seed=13,
+    )
+    c.enable_ignem(IgnemConfig(buffer_capacity=1 * GB, rpc_latency=0.0))
+    return c
+
+
+@pytest.fixture
+def master(cluster):
+    return cluster.ignem_master
+
+
+def make_cluster(ignem_config=None, **kwargs):
+    kwargs.setdefault("num_nodes", 4)
+    kwargs.setdefault("replication", 2)
+    kwargs.setdefault("seed", 13)
+    c = build_paper_testbed(**kwargs)
+    c.enable_ignem(ignem_config or IgnemConfig(rpc_latency=0.0))
+    return c

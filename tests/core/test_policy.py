@@ -1,0 +1,57 @@
+"""Tests for migration-queue ordering policies."""
+
+import pytest
+
+from repro.core import FifoOrder, SmallestJobFirst, make_policy
+from repro.core.commands import MigrationWorkItem
+from repro.dfs import Block
+from repro.storage import MB
+
+
+def item(job_id="j", input_bytes=100 * MB, submitted_at=0.0):
+    block = Block(f"{job_id}-b", "/f", 0, 64 * MB)
+    return MigrationWorkItem(
+        block=block,
+        job_id=job_id,
+        job_input_bytes=input_bytes,
+        job_submitted_at=submitted_at,
+        implicit_eviction=False,
+    )
+
+
+class TestSmallestJobFirst:
+    def test_smaller_job_wins(self):
+        policy = SmallestJobFirst()
+        small = item("small", input_bytes=64 * MB)
+        big = item("big", input_bytes=1000 * MB)
+        assert policy.priority(small) < policy.priority(big)
+
+    def test_tie_broken_by_submission_time(self):
+        policy = SmallestJobFirst()
+        early = item("early", input_bytes=64 * MB, submitted_at=1.0)
+        late = item("late", input_bytes=64 * MB, submitted_at=2.0)
+        assert policy.priority(early) < policy.priority(late)
+
+    def test_full_tie_broken_by_arrival_order(self):
+        policy = SmallestJobFirst()
+        first = item("a")
+        second = item("a")
+        assert policy.priority(first) < policy.priority(second)
+
+
+class TestFifoOrder:
+    def test_arrival_order_only(self):
+        policy = FifoOrder()
+        first = item("big-but-early", input_bytes=1000 * MB)
+        second = item("small-but-late", input_bytes=1 * MB)
+        assert policy.priority(first) < policy.priority(second)
+
+
+class TestFactory:
+    def test_make_known_policies(self):
+        assert isinstance(make_policy("smallest-job-first"), SmallestJobFirst)
+        assert isinstance(make_policy("fifo"), FifoOrder)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("random")

@@ -1,0 +1,34 @@
+"""Shared fixtures for DFS tests: a small simulated cluster."""
+
+import pytest
+
+from repro.dfs import DFSClient, DataNode, NameNode
+from repro.net import Network
+from repro.sim import Environment, RandomSource
+from repro.storage import GB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def network(env):
+    net = Network(env)
+    for index in range(4):
+        net.add_node(f"node{index}")
+    return net
+
+
+@pytest.fixture
+def namenode(env):
+    nn = NameNode(rng=RandomSource(7), replication=2)
+    for index in range(4):
+        nn.register_datanode(DataNode(env, f"node{index}", cache_capacity=8 * GB))
+    return nn
+
+
+@pytest.fixture
+def client(env, namenode, network):
+    return DFSClient(env, namenode, network, rng=RandomSource(11))

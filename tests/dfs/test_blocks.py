@@ -1,0 +1,59 @@
+"""Tests for block splitting and file metadata."""
+
+import pytest
+
+from repro.dfs import Block, FileMetadata, split_into_blocks
+from repro.storage import MB
+
+
+class TestSplitIntoBlocks:
+    def test_exact_multiple(self):
+        blocks = split_into_blocks("/data/f", 128 * MB, block_size=64 * MB)
+        assert len(blocks) == 2
+        assert all(b.nbytes == 64 * MB for b in blocks)
+
+    def test_remainder_in_last_block(self):
+        blocks = split_into_blocks("/data/f", 100 * MB, block_size=64 * MB)
+        assert len(blocks) == 2
+        assert blocks[0].nbytes == 64 * MB
+        assert blocks[1].nbytes == 36 * MB
+
+    def test_small_file_single_block(self):
+        blocks = split_into_blocks("/data/f", 10 * MB, block_size=64 * MB)
+        assert len(blocks) == 1
+        assert blocks[0].nbytes == 10 * MB
+
+    def test_empty_file_gets_one_empty_block(self):
+        blocks = split_into_blocks("/data/f", 0)
+        assert len(blocks) == 1
+        assert blocks[0].nbytes == 0
+
+    def test_block_ids_unique_and_ordered(self):
+        blocks = split_into_blocks("/data/f", 300 * MB, block_size=64 * MB)
+        ids = [b.block_id for b in blocks]
+        assert len(set(ids)) == len(ids)
+        assert [b.index for b in blocks] == list(range(len(blocks)))
+
+    def test_block_ids_include_path(self):
+        blocks = split_into_blocks("/data/f", 64 * MB)
+        assert "/data/f" in blocks[0].block_id
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            split_into_blocks("/data/f", -1)
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            split_into_blocks("/data/f", 100, block_size=0)
+
+
+class TestFileMetadata:
+    def test_nbytes_sums_blocks(self):
+        blocks = tuple(split_into_blocks("/f", 100 * MB, block_size=64 * MB))
+        metadata = FileMetadata("/f", blocks)
+        assert metadata.nbytes == 100 * MB
+        assert metadata.num_blocks == 2
+
+    def test_block_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Block("b", "/f", 0, -5)

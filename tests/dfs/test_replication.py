@@ -1,0 +1,125 @@
+"""Tests for the re-replication monitor."""
+
+import pytest
+
+from repro import build_paper_testbed
+from repro.dfs import ReplicationMonitor
+from repro.storage import MB
+
+
+def make_cluster(num_nodes=4, replication=2, seed=3):
+    cluster = build_paper_testbed(
+        num_nodes=num_nodes, replication=replication, seed=seed
+    )
+    cluster.enable_rereplication()
+    return cluster
+
+
+class TestUnderReplicationDetection:
+    def test_healthy_cluster_has_no_under_replicated_blocks(self):
+        cluster = make_cluster()
+        cluster.client.create_file("/f", 128 * MB)
+        assert cluster.replication_monitor.under_replicated_blocks() == []
+
+    def test_failure_exposes_under_replicated_blocks(self):
+        cluster = make_cluster()
+        cluster.client.create_file("/f", 128 * MB)
+        victim = cluster.namenode.get_block_locations(
+            cluster.namenode.file_blocks("/f")[0].block_id
+        )[0]
+        cluster.datanodes[victim].fail()
+        under = cluster.replication_monitor.under_replicated_blocks()
+        assert under  # at least the first block lost a replica
+
+    def test_target_capped_by_live_nodes(self):
+        cluster = make_cluster(num_nodes=2, replication=2)
+        cluster.client.create_file("/f", 64 * MB)
+        cluster.datanodes["node1"].fail()
+        # Only one live node: target replication becomes 1, so a block
+        # with one live replica is NOT under-replicated.
+        assert cluster.replication_monitor.under_replicated_blocks() == []
+
+
+class TestRestoration:
+    def test_fail_node_restores_replication_factor(self):
+        cluster = make_cluster()
+        cluster.client.create_file("/f", 256 * MB)
+        block = cluster.namenode.file_blocks("/f")[0]
+        victim = cluster.namenode.get_block_locations(block.block_id)[0]
+        cluster.fail_node(victim)
+        cluster.run()
+        monitor = cluster.replication_monitor
+        assert monitor.copies_completed > 0
+        for blk in cluster.namenode.file_blocks("/f"):
+            live = cluster.namenode.get_block_locations(blk.block_id)
+            assert len(live) == 2
+            assert victim not in live
+
+    def test_new_replicas_are_readable(self):
+        cluster = make_cluster()
+        cluster.client.create_file("/f", 128 * MB)
+        block = cluster.namenode.file_blocks("/f")[0]
+        victim = cluster.namenode.get_block_locations(block.block_id)[0]
+        cluster.fail_node(victim)
+        cluster.run()
+        new_home = [
+            n
+            for n in cluster.namenode.get_block_locations(block.block_id)
+        ][-1]
+        assert cluster.namenode.datanode(new_home).has_block(block.block_id)
+
+    def test_copies_move_real_bytes(self):
+        cluster = make_cluster()
+        cluster.client.create_file("/f", 128 * MB)
+        victim = cluster.namenode.get_block_locations(
+            cluster.namenode.file_blocks("/f")[0].block_id
+        )[0]
+        before = {
+            name: cluster.network.nic(name).bytes_moved
+            for name in cluster.node_names()
+        }
+        cluster.fail_node(victim)
+        cluster.run()
+        moved = sum(
+            cluster.network.nic(name).bytes_moved - before[name]
+            for name in cluster.node_names()
+        )
+        assert moved > 0
+
+    def test_unrecoverable_blocks_counted(self):
+        cluster = make_cluster(num_nodes=3, replication=1)
+        cluster.client.create_file("/f", 64 * MB)
+        holder = cluster.namenode.get_block_locations(
+            cluster.namenode.file_blocks("/f")[0].block_id
+        )[0]
+        cluster.fail_node(holder)
+        cluster.run()
+        assert cluster.replication_monitor.copies_failed >= 1
+        assert cluster.replication_monitor.copies_completed == 0
+
+    def test_enable_rereplication_idempotent(self):
+        cluster = make_cluster()
+        first = cluster.replication_monitor
+        second = cluster.enable_rereplication()
+        assert first is second
+
+    def test_validation(self):
+        cluster = build_paper_testbed(num_nodes=2)
+        with pytest.raises(ValueError):
+            ReplicationMonitor(
+                cluster.env,
+                cluster.namenode,
+                cluster.network,
+                max_concurrent_per_source=0,
+            )
+
+    def test_sequential_failures_keep_data_available(self):
+        cluster = make_cluster(num_nodes=6, replication=3)
+        cluster.client.create_file("/f", 256 * MB)
+        cluster.fail_node("node0")
+        cluster.run()
+        cluster.fail_node("node1")
+        cluster.run()
+        for blk in cluster.namenode.file_blocks("/f"):
+            live = cluster.namenode.get_block_locations(blk.block_id)
+            assert len(live) == 3

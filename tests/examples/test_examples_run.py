@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they did"
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "log_analytics_pipeline",
+        "hive_dashboard",
+        "failure_drill",
+        "swim_replay",
+        "chaos_day",
+    } <= names
+
+
+def test_swim_replay_accepts_job_count():
+    script = EXAMPLES_DIR / "swim_replay.py"
+    result = subprocess.run(
+        [sys.executable, str(script), "40"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "40 SWIM jobs" in result.stdout

@@ -1,0 +1,82 @@
+"""Tests for the batch report runner and the CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.experiments import clear_cache
+from repro.experiments.report import available_experiments, run_experiments
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestReportRunner:
+    def test_available_experiments_cover_all_tables_and_figures(self):
+        names = available_experiments()
+        for expected in (
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "table1",
+            "table2",
+            "table3",
+            "ablation-priority",
+        ):
+            assert expected in names
+
+    def test_run_writes_txt_json_and_series(self, tmp_path):
+        results = run_experiments(["fig3"], out_dir=tmp_path)
+        assert "fig3" in results
+        assert (tmp_path / "fig3.txt").exists()
+        payload = json.loads((tmp_path / "fig3.json").read_text())
+        assert payload["sufficient_fraction"] == pytest.approx(0.81, abs=0.03)
+        series = (tmp_path / "fig3_series.csv").read_text().splitlines()
+        assert series[0] == "read_over_lead_ratio,cdf"
+        assert len(series) > 10
+
+    def test_unknown_experiment_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_experiments(["fig99"], out_dir=tmp_path)
+
+    def test_fig1_fig2_share_one_run(self, tmp_path):
+        results = run_experiments(["fig1", "fig2"], out_dir=tmp_path)
+        # The shared runner executes once and reports under the first name.
+        assert list(results) == ["fig1"]
+        assert (tmp_path / "fig1_fig2.txt").exists()
+        assert (tmp_path / "fig2_series.csv").exists()
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig8" in out
+
+    def test_run_command_writes_results(self, tmp_path, capsys):
+        code = main(["run", "fig3", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 3" in out
+        assert (tmp_path / "fig3.json").exists()
+
+    def test_run_unknown_experiment_fails_cleanly(self, tmp_path, capsys):
+        code = main(["run", "fig99", "--out", str(tmp_path)])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

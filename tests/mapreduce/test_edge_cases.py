@@ -1,0 +1,131 @@
+"""Edge cases in the MapReduce engine."""
+
+import pytest
+
+from repro import JobSpec, build_paper_testbed
+from repro.storage import GB, MB
+
+
+def cluster4(**kw):
+    kw.setdefault("num_nodes", 4)
+    kw.setdefault("replication", 2)
+    return build_paper_testbed(**kw)
+
+
+class TestDegenerateInputs:
+    def test_empty_input_file_still_runs_one_map(self):
+        cluster = cluster4()
+        cluster.client.create_file("/empty", 0)
+        job = cluster.engine.submit_job(JobSpec("j", ("/empty",)))
+        cluster.run()
+        assert job.num_maps == 1
+        assert job.finished_at is not None
+
+    def test_tiny_file_single_block(self):
+        cluster = cluster4()
+        cluster.client.create_file("/tiny", 1)
+        job = cluster.engine.submit_job(JobSpec("j", ("/tiny",)))
+        cluster.run()
+        assert job.num_maps == 1
+
+    def test_map_only_job_skips_reduce_stage(self):
+        cluster = cluster4()
+        cluster.client.create_file("/in", 64 * MB)
+        job = cluster.engine.submit_job(
+            JobSpec("j", ("/in",), shuffle_bytes=0, output_bytes=0, num_reduces=4)
+        )
+        cluster.run()
+        assert job.num_reduces == 0
+        assert not cluster.collector.reduce_tasks()
+
+    def test_output_without_shuffle_still_reduces(self):
+        cluster = cluster4()
+        cluster.client.create_file("/in", 64 * MB)
+        job = cluster.engine.submit_job(
+            JobSpec("j", ("/in",), shuffle_bytes=0, output_bytes=32 * MB,
+                    num_reduces=2)
+        )
+        cluster.run()
+        assert job.num_reduces == 2
+        assert cluster.namenode.exists(f"/out/{job.job_id}/part-0000")
+
+    def test_zero_cpu_factor_job(self):
+        cluster = cluster4()
+        cluster.client.create_file("/in", 128 * MB)
+        job = cluster.engine.submit_job(
+            JobSpec("j", ("/in",), map_cpu_factor=0.0, reduce_cpu_factor=0.0)
+        )
+        cluster.run()
+        assert job.finished_at is not None
+
+    def test_more_reduces_than_cluster_slots(self):
+        cluster = cluster4()
+        cluster.client.create_file("/in", 64 * MB)
+        job = cluster.engine.submit_job(
+            JobSpec("j", ("/in",), shuffle_bytes=64 * MB, num_reduces=100)
+        )
+        cluster.run()
+        assert len(cluster.collector.reduce_tasks()) == 100
+
+
+class TestConfigPlumb:
+    def test_output_replication_respected(self):
+        from repro.mapreduce import EngineConfig
+
+        cluster = cluster4(engine_config=EngineConfig(output_replication=2))
+        cluster.client.create_file("/in", 64 * MB)
+        job = cluster.engine.submit_job(
+            JobSpec("j", ("/in",), shuffle_bytes=32 * MB, output_bytes=32 * MB,
+                    num_reduces=1)
+        )
+        cluster.run()
+        part = f"/out/{job.job_id}/part-0000"
+        block = cluster.namenode.file_blocks(part)[0]
+        assert len(cluster.namenode.get_block_locations(block.block_id)) == 2
+
+    def test_use_ignem_defaults_to_master_presence(self):
+        cluster = cluster4(ignem=True)
+        cluster.client.create_file("/in", 64 * MB)
+        job = cluster.engine.submit_job(JobSpec("j", ("/in",)))
+        assert job.use_ignem
+        cluster.run()
+        assert cluster.ignem_master.migration_requests == 1
+
+    def test_use_ignem_false_suppresses_migration(self):
+        cluster = cluster4(ignem=True)
+        cluster.client.create_file("/in", 64 * MB)
+        cluster.engine.submit_job(JobSpec("j", ("/in",)), use_ignem=False)
+        cluster.run()
+        assert cluster.ignem_master.migration_requests == 0
+
+
+class TestMetricsConsistency:
+    def test_every_map_produces_exactly_one_block_read(self):
+        cluster = cluster4()
+        cluster.client.create_file("/in", 320 * MB)
+        job = cluster.engine.submit_job(JobSpec("j", ("/in",)))
+        cluster.run()
+        maps = cluster.collector.tasks_for_job(job.job_id, "map")
+        reads = cluster.collector.block_reads_for_job(job.job_id)
+        assert len(maps) == len(reads) == 5
+        assert {r.task_id for r in reads} == {t.task_id for t in maps}
+
+    def test_job_record_lead_time_matches_first_task(self):
+        cluster = cluster4()
+        cluster.client.create_file("/in", 128 * MB)
+        job = cluster.engine.submit_job(JobSpec("j", ("/in",)))
+        cluster.run()
+        record = cluster.collector.job(job.job_id)
+        first_start = min(
+            t.start for t in cluster.collector.tasks_for_job(job.job_id)
+        )
+        assert record.first_task_start == pytest.approx(first_start)
+        assert record.lead_time == pytest.approx(first_start - record.submitted_at)
+
+    def test_task_record_input_bytes_sum_to_job_input(self):
+        cluster = cluster4()
+        cluster.client.create_file("/in", 200 * MB)
+        job = cluster.engine.submit_job(JobSpec("j", ("/in",)))
+        cluster.run()
+        maps = cluster.collector.tasks_for_job(job.job_id, "map")
+        assert sum(t.input_bytes for t in maps) == pytest.approx(200 * MB)

@@ -1,0 +1,118 @@
+"""Tests for the datacenter network model."""
+
+import pytest
+
+from repro.net import Network
+from repro.net.network import TEN_GBPS
+from repro.sim import Environment
+from repro.storage import MB
+
+
+def run_transfer(env, network, src, dst, nbytes):
+    times = {}
+
+    def proc(env):
+        times["start"] = env.now
+        yield network.transfer(src, dst, nbytes)
+        times["end"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    return times["end"] - times["start"]
+
+
+class TestTransfers:
+    def test_duration_matches_nic_bandwidth(self):
+        env = Environment()
+        network = Network(env, bandwidth=100 * MB)
+        network.add_node("a")
+        network.add_node("b")
+        assert run_transfer(env, network, "a", "b", 100 * MB) == pytest.approx(1.0)
+
+    def test_loopback_is_free(self):
+        env = Environment()
+        network = Network(env)
+        network.add_node("a")
+        assert run_transfer(env, network, "a", "a", 1000 * MB) == 0.0
+        assert network.nic("a").bytes_moved == 0.0
+
+    def test_concurrent_flows_share_nic(self):
+        env = Environment()
+        network = Network(env, bandwidth=100 * MB)
+        for name in ("a", "b", "c"):
+            network.add_node(name)
+        ends = {}
+
+        def flow(env, dst):
+            yield network.transfer("a", dst, 100 * MB)
+            ends[dst] = env.now
+
+        env.process(flow(env, "b"))
+        env.process(flow(env, "c"))
+        env.run()
+        # Two flows share node a's egress NIC: each takes ~2s.
+        assert ends["b"] == pytest.approx(2.0)
+        assert ends["c"] == pytest.approx(2.0)
+
+    def test_independent_pairs_do_not_interfere(self):
+        env = Environment()
+        network = Network(env, bandwidth=100 * MB)
+        for name in ("a", "b", "c", "d"):
+            network.add_node(name)
+        ends = {}
+
+        def flow(env, src, dst):
+            yield network.transfer(src, dst, 100 * MB)
+            ends[(src, dst)] = env.now
+
+        env.process(flow(env, "a", "b"))
+        env.process(flow(env, "c", "d"))
+        env.run()
+        assert ends[("a", "b")] == pytest.approx(1.0)
+        assert ends[("c", "d")] == pytest.approx(1.0)
+
+    def test_default_bandwidth_is_10gbps(self):
+        env = Environment()
+        network = Network(env)
+        network.add_node("a")
+        network.add_node("b")
+        elapsed = run_transfer(env, network, "a", "b", TEN_GBPS)
+        assert elapsed == pytest.approx(1.0)
+
+
+class TestTopology:
+    def test_unknown_node_raises(self):
+        env = Environment()
+        network = Network(env)
+        with pytest.raises(KeyError):
+            network.nic("ghost")
+        network.add_node("a")
+        with pytest.raises(KeyError):
+            network.transfer("a", "ghost", 1)
+
+    def test_add_node_idempotent(self):
+        env = Environment()
+        network = Network(env)
+        first = network.add_node("a")
+        second = network.add_node("a")
+        assert first is second
+
+    def test_has_node(self):
+        env = Environment()
+        network = Network(env)
+        network.add_node("a")
+        assert network.has_node("a")
+        assert not network.has_node("b")
+
+    def test_invalid_bandwidth_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Network(env, bandwidth=0)
+
+    def test_negative_bytes_rejected(self):
+        env = Environment()
+        network = Network(env)
+        network.add_node("a")
+        network.add_node("b")
+        with pytest.raises(ValueError):
+            network.transfer("a", "b", -1)

@@ -1,0 +1,126 @@
+"""Property-based tests for Ignem's core invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import IgnemConfig, build_paper_testbed
+from repro.core.commands import MigrationWorkItem
+from repro.core.policy import FifoOrder, SmallestJobFirst
+from repro.dfs.blocks import Block
+from repro.storage import GB, MB
+
+
+@st.composite
+def work_items(draw):
+    job = draw(st.integers(min_value=0, max_value=5))
+    return MigrationWorkItem(
+        block=Block(f"b{draw(st.integers(0, 100))}", "/f", 0, 64 * MB),
+        job_id=f"j{job}",
+        job_input_bytes=draw(st.floats(min_value=1.0, max_value=1e12)),
+        job_submitted_at=draw(st.floats(min_value=0.0, max_value=1e6)),
+        implicit_eviction=draw(st.booleans()),
+        order_hint=draw(st.integers(min_value=0, max_value=1000)),
+    )
+
+
+class TestPolicyProperties:
+    @given(st.lists(work_items(), min_size=2, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_smallest_job_first_is_total_order_on_job_size(self, items):
+        policy = SmallestJobFirst()
+        ordered = sorted(items, key=policy.priority)
+        sizes = [item.job_input_bytes for item in ordered]
+        assert sizes == sorted(sizes)
+
+    @given(st.lists(work_items(), min_size=2, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_priorities_are_deterministic(self, items):
+        policy = SmallestJobFirst()
+        assert [policy.priority(i) for i in items] == [
+            policy.priority(i) for i in items
+        ]
+
+    @given(work_items(), work_items())
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_ignores_job_size(self, a, b):
+        policy = FifoOrder()
+        # FIFO ordering depends only on submit time / order / arrival,
+        # never on size: flipping sizes cannot flip the order.
+        first = policy.priority(a) < policy.priority(b)
+        swapped_a = MigrationWorkItem(
+            block=a.block,
+            job_id=a.job_id,
+            job_input_bytes=b.job_input_bytes,
+            job_submitted_at=a.job_submitted_at,
+            implicit_eviction=a.implicit_eviction,
+            order_hint=a.order_hint,
+            seq=a.seq,
+        )
+        assert (policy.priority(swapped_a) < policy.priority(b)) == first
+
+
+@st.composite
+def migration_scripts(draw):
+    """A random interleaving of migrate/evict requests over a few files."""
+    steps = []
+    num_files = draw(st.integers(min_value=1, max_value=4))
+    for step in range(draw(st.integers(min_value=1, max_value=10))):
+        file_index = draw(st.integers(min_value=0, max_value=num_files - 1))
+        action = draw(st.sampled_from(["migrate", "evict", "wait"]))
+        steps.append((action, file_index, draw(st.floats(0.1, 20.0))))
+    return num_files, steps
+
+
+class TestEndToEndInvariants:
+    @given(migration_scripts())
+    @settings(max_examples=25, deadline=None)
+    def test_migrated_bytes_match_pinned_cache_bytes(self, script):
+        """At every quiescent point, each slave's accounting agrees with
+        the DataNode cache's pinned bytes."""
+        num_files, steps = script
+        cluster = build_paper_testbed(
+            seed=1, ignem=True, ignem_config=IgnemConfig(buffer_capacity=1 * GB)
+        )
+        for index in range(num_files):
+            cluster.client.create_file(f"/f{index}", 128 * MB)
+            cluster.rm.register_job(f"job-{index}")
+
+        def driver(env):
+            for action, file_index, delay in steps:
+                if action == "migrate":
+                    cluster.client.migrate([f"/f{file_index}"], f"job-{file_index}")
+                elif action == "evict":
+                    cluster.client.evict([f"/f{file_index}"], f"job-{file_index}")
+                yield env.timeout(delay)
+
+        cluster.env.process(driver(cluster.env), name="driver")
+        cluster.run()
+
+        for slave in cluster.ignem_master.slaves():
+            assert slave.migrated_bytes == pytest.approx(
+                slave.datanode.cache.pinned_bytes, abs=1.0
+            )
+            assert slave.migrated_bytes <= 1 * GB + 1e-6
+
+    @given(migration_scripts())
+    @settings(max_examples=25, deadline=None)
+    def test_evicting_everything_releases_everything(self, script):
+        num_files, steps = script
+        cluster = build_paper_testbed(seed=2, ignem=True)
+        for index in range(num_files):
+            cluster.client.create_file(f"/f{index}", 128 * MB)
+            cluster.rm.register_job(f"job-{index}")
+
+        def driver(env):
+            for action, file_index, delay in steps:
+                if action == "migrate":
+                    cluster.client.migrate([f"/f{file_index}"], f"job-{file_index}")
+                yield env.timeout(delay)
+
+        cluster.env.process(driver(cluster.env), name="driver")
+        cluster.run()
+        for index in range(num_files):
+            cluster.client.evict([f"/f{index}"], f"job-{index}")
+        cluster.run()
+        assert all(s.migrated_bytes == 0 for s in cluster.ignem_master.slaves())
+        assert all(s.reference_count() == 0 for s in cluster.ignem_master.slaves())

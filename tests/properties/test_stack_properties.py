@@ -1,0 +1,180 @@
+"""Property-based tests for scheduler and network invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import Network
+from repro.scheduler import NodeManager, ResourceManager, TaskRequest
+from repro.sim import Environment
+from repro.storage import MB
+
+
+@st.composite
+def scheduler_workloads(draw):
+    """Random (nodes, tasks) scheduling scenarios."""
+    num_nodes = draw(st.integers(min_value=1, max_value=4))
+    slots = draw(st.integers(min_value=1, max_value=3))
+    tasks = []
+    for index in range(draw(st.integers(min_value=1, max_value=12))):
+        tasks.append(
+            {
+                "submit_at": draw(st.floats(min_value=0.0, max_value=20.0)),
+                "duration": draw(st.floats(min_value=0.1, max_value=8.0)),
+                "fails_first": draw(st.booleans()),
+            }
+        )
+    return num_nodes, slots, tasks
+
+
+class TestSchedulerInvariants:
+    @given(scheduler_workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_slots_never_oversubscribed_and_all_tasks_finish(self, scenario):
+        num_nodes, slots, specs = scenario
+        env = Environment()
+        rm = ResourceManager(env)
+        nodes = []
+        for index in range(num_nodes):
+            node = NodeManager(
+                env, f"n{index}", slots=slots, heartbeat_interval=1.0,
+                heartbeat_offset=index * 0.1,
+            )
+            rm.register_node(node)
+            nodes.append(node)
+        rm.register_job("j")
+
+        finished = []
+        observed_free = []
+
+        def make_execute(spec, state):
+            def execute(node):
+                observed_free.extend(n.free_slots for n in nodes)
+                yield env.timeout(spec["duration"])
+                if spec["fails_first"] and not state["failed"]:
+                    state["failed"] = True
+                    raise RuntimeError("first attempt dies")
+                finished.append(node)
+
+            return execute
+
+        tasks = []
+        for index, spec in enumerate(specs):
+            state = {"failed": False}
+            task = TaskRequest(env, "j", f"t{index}", "map", make_execute(spec, state))
+
+            def submitter(env, task=task, at=spec["submit_at"]):
+                yield env.timeout(at)
+                rm.submit(task)
+
+            env.process(submitter(env))
+            tasks.append(task)
+
+        outcomes = []
+
+        def waiter(env, task):
+            try:
+                yield task.completed
+                outcomes.append("ok")
+            except RuntimeError:
+                outcomes.append("abandoned")
+
+        for task in tasks:
+            env.process(waiter(env, task))
+        env.run()
+        # Every task reached a terminal state: success, or abandonment
+        # when its exclusions covered every live node.
+        assert len(outcomes) == len(tasks)
+        for task in tasks:
+            assert task.completed.triggered
+        # Slots were never oversubscribed (free_slots always in range).
+        assert all(0 <= free <= slots for free in observed_free)
+        # Launch accounting is consistent.
+        assert rm.tasks_launched == sum(t.attempts for t in tasks)
+
+    @given(scheduler_workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_no_task_starts_before_submission(self, scenario):
+        num_nodes, slots, specs = scenario
+        env = Environment()
+        rm = ResourceManager(env)
+        for index in range(num_nodes):
+            rm.register_node(
+                NodeManager(env, f"n{index}", slots=slots, heartbeat_interval=1.0)
+            )
+        rm.register_job("j")
+        tasks = []
+        def quick(node):
+            yield env.timeout(0.1)
+
+        for index, spec in enumerate(specs):
+            task = TaskRequest(env, "j", f"t{index}", "map", quick)
+
+            def submitter(env, task=task, at=spec["submit_at"]):
+                yield env.timeout(at)
+                rm.submit(task)
+
+            env.process(submitter(env))
+            tasks.append(task)
+        env.run()
+        for task in tasks:
+            assert task.started_at is not None
+            assert task.started_at >= task.submitted_at
+
+
+class TestNetworkInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # src
+                st.integers(min_value=0, max_value=3),  # dst
+                st.floats(min_value=1.0, max_value=256.0),  # MB
+                st.floats(min_value=0.0, max_value=5.0),  # start
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nic_byte_conservation(self, flows):
+        env = Environment()
+        network = Network(env, bandwidth=100 * MB)
+        for index in range(4):
+            network.add_node(f"n{index}")
+
+        def flow(env, src, dst, nbytes, start):
+            yield env.timeout(start)
+            yield network.transfer(src, dst, nbytes)
+
+        expected = 0.0
+        for src_i, dst_i, size_mb, start in flows:
+            src, dst = f"n{src_i}", f"n{dst_i}"
+            if src != dst:
+                expected += 2 * size_mb * MB  # egress + ingress NIC
+            env.process(flow(env, src, dst, size_mb * MB, start))
+        env.run()
+        moved = sum(network.nic(f"n{i}").bytes_moved for i in range(4))
+        assert moved == pytest.approx(expected, rel=1e-6)
+
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=128.0),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shared_nic_never_beats_line_rate(self, sizes_mb):
+        env = Environment()
+        bandwidth = 100 * MB
+        network = Network(env, bandwidth=bandwidth)
+        network.add_node("src")
+        network.add_node("dst")
+
+        def flow(env, nbytes):
+            yield network.transfer("src", "dst", nbytes)
+
+        for size_mb in sizes_mb:
+            env.process(flow(env, size_mb * MB))
+        env.run()
+        total = sum(sizes_mb) * MB
+        assert env.now >= total / bandwidth - 1e-6

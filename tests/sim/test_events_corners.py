@@ -1,0 +1,137 @@
+"""Corner-case tests for event primitives."""
+
+import pytest
+
+from repro.sim import Environment, Event, SimulationError
+from repro.sim.events import ConditionValue
+
+
+class TestEventStates:
+    def test_fresh_event_is_untriggered(self):
+        env = Environment()
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+        assert event.ok  # default until failed
+
+    def test_succeed_marks_triggered_then_processed(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("v")
+        assert event.triggered
+        assert not event.processed
+        env.run()
+        assert event.processed
+        assert event.value == "v"
+
+    def test_trigger_copies_another_events_outcome(self):
+        env = Environment()
+        source = env.event()
+        source.succeed(123)
+        target = env.event()
+        target.trigger(source)
+        assert target.triggered
+        assert target.value == 123
+
+    def test_trigger_copies_failure(self):
+        env = Environment()
+        source = env.event()
+        error = RuntimeError("nope")
+        source.fail(error)
+        target = env.event()
+        target.trigger(source)
+        assert not target.ok
+        # Drain both failures through waiters so the engine doesn't
+        # re-raise them as unhandled.
+        caught = []
+
+        def waiter(env, ev):
+            try:
+                yield ev
+            except RuntimeError as err:
+                caught.append(err)
+
+        env.process(waiter(env, source))
+        env.process(waiter(env, target))
+        env.run()
+        assert caught == [error, error]
+
+    def test_unhandled_failed_event_surfaces_in_run(self):
+        env = Environment()
+        event = env.event()
+        event.fail(ValueError("lost"))
+        with pytest.raises(ValueError, match="lost"):
+            env.run()
+
+    def test_repr_shows_state(self):
+        env = Environment()
+        event = env.event()
+        assert "pending" in repr(event)
+        event.succeed()
+        assert "triggered" in repr(event)
+        env.run()
+        assert "processed" in repr(event)
+
+
+class TestConditionValueSemantics:
+    def test_equality_with_dict(self):
+        env = Environment()
+        a = env.event().succeed(1)
+        env.run()
+        value = ConditionValue()
+        value.events.append(a)
+        assert value == {a: 1}
+        assert value == value
+        assert (value == 42) is False or True  # NotImplemented path
+
+    def test_iteration_order_matches_event_order(self):
+        env = Environment()
+        log = {}
+
+        def proc(env):
+            t1 = env.timeout(2, value="slow")
+            t2 = env.timeout(1, value="fast")
+            results = yield env.all_of([t1, t2])
+            log["order"] = list(results.values())
+
+        env.process(proc(env))
+        env.run()
+        # AllOf preserves the order events were passed, not firing order.
+        assert log["order"] == ["slow", "fast"]
+
+
+class TestProcessReturnedEventChaining:
+    def test_yielding_processed_event_continues_inline(self):
+        env = Environment()
+        trace = []
+
+        def proc(env):
+            event = env.event()
+            event.succeed("early")
+            yield env.timeout(1)  # let it become processed
+            value = yield event  # already processed: resume immediately
+            trace.append((value, env.now))
+
+        env.process(proc(env))
+        env.run()
+        assert trace == [("early", 1.0)]
+
+    def test_two_waiters_on_one_event_both_resume(self):
+        env = Environment()
+        shared = Environment.event(env)
+        resumed = []
+
+        def waiter(env, name):
+            value = yield shared
+            resumed.append((name, value))
+
+        env.process(waiter(env, "a"))
+        env.process(waiter(env, "b"))
+
+        def firer(env):
+            yield env.timeout(2)
+            shared.succeed("go")
+
+        env.process(firer(env))
+        env.run()
+        assert sorted(resumed) == [("a", "go"), ("b", "go")]

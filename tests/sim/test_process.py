@@ -1,0 +1,176 @@
+"""Tests for process behaviour: interrupts, liveness, return values."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+def test_process_is_alive_until_done():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+
+    process = env.process(proc(env))
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return {"answer": 42}
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == {"answer": 42}
+
+
+def test_interrupt_wakes_sleeping_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt(cause="wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(3.0, "wake up")]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            pass
+        yield env.timeout(2)
+        log.append(env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [5.0]
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    def late_interrupter(env, victim):
+        yield env.timeout(5)
+        with pytest.raises(SimulationError):
+            victim.interrupt()
+
+    victim = env.process(quick(env))
+    env.process(late_interrupter(env, victim))
+    env.run()
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+
+    def selfish(env):
+        yield env.timeout(0)
+        with pytest.raises(SimulationError):
+            env.active_process.interrupt()
+
+    env.process(selfish(env))
+    env.run()
+
+
+def test_unhandled_interrupt_kills_process_and_surfaces():
+    env = Environment()
+
+    def sleeper(env):
+        yield env.timeout(100)
+
+    def interrupter(env, victim):
+        yield env.timeout(1)
+        victim.interrupt(cause="fatal")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    with pytest.raises(Interrupt):
+        env.run()
+    assert not victim.is_alive
+
+
+def test_process_requires_generator():
+    env = Environment()
+
+    def not_a_generator():
+        return 42
+
+    with pytest.raises(TypeError):
+        env.process(not_a_generator())
+
+
+def test_process_name_from_generator():
+    env = Environment()
+
+    def my_worker(env):
+        yield env.timeout(1)
+
+    process = env.process(my_worker(env))
+    assert "my_worker" in repr(process) or process.name
+
+
+def test_active_process_visible_during_execution():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        seen.append(env.active_process)
+        yield env.timeout(1)
+
+    process = env.process(proc(env))
+    env.run()
+    assert seen == [process]
+    assert env.active_process is None
+
+
+def test_target_tracks_waited_event():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10)
+
+    process = env.process(proc(env))
+    env.step()  # run the Initialize event
+    assert process.target is not None
+    env.run()
+
+
+def test_many_sequential_processes_complete():
+    env = Environment()
+    done = []
+
+    def worker(env, index):
+        yield env.timeout(index % 7)
+        done.append(index)
+
+    for index in range(200):
+        env.process(worker(env, index))
+    env.run()
+    assert sorted(done) == list(range(200))

@@ -1,0 +1,343 @@
+"""Tests for Resource, Store, PriorityStore, and Container."""
+
+import pytest
+
+from repro.sim import (
+    Container,
+    Environment,
+    PriorityItem,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_serializes_users_beyond_capacity(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def user(env, resource, name, hold):
+            with resource.request() as req:
+                yield req
+                log.append((name, "start", env.now))
+                yield env.timeout(hold)
+                log.append((name, "end", env.now))
+
+        env.process(user(env, resource, "a", 3))
+        env.process(user(env, resource, "b", 2))
+        env.run()
+        assert log == [
+            ("a", "start", 0.0),
+            ("a", "end", 3.0),
+            ("b", "start", 3.0),
+            ("b", "end", 5.0),
+        ]
+
+    def test_capacity_two_allows_concurrency(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        starts = []
+
+        def user(env, resource, name):
+            with resource.request() as req:
+                yield req
+                starts.append((name, env.now))
+                yield env.timeout(5)
+
+        for name in ["a", "b", "c"]:
+            env.process(user(env, resource, name))
+        env.run()
+        assert starts == [("a", 0.0), ("b", 0.0), ("c", 5.0)]
+
+    def test_count_tracks_holders(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        counts = []
+
+        def user(env, resource, arrive):
+            yield env.timeout(arrive)
+            with resource.request() as req:
+                yield req
+                counts.append(resource.count)
+                yield env.timeout(1)
+
+        env.process(user(env, resource, 0.0))
+        env.process(user(env, resource, 0.5))
+        env.run()
+        assert counts == [1, 2]
+        assert resource.count == 0
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def user(env, resource, name, arrive):
+            yield env.timeout(arrive)
+            with resource.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(10)
+
+        env.process(user(env, resource, "first", 0))
+        env.process(user(env, resource, "second", 1))
+        env.process(user(env, resource, "third", 2))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_cancel_pending_request(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        granted = []
+
+        def holder(env, resource):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def impatient(env, resource):
+            req = resource.request()
+            yield env.timeout(1)
+            req.cancel()
+
+        def patient(env, resource):
+            yield env.timeout(2)
+            with resource.request() as req:
+                yield req
+                granted.append(env.now)
+
+        env.process(holder(env, resource))
+        env.process(impatient(env, resource))
+        env.process(patient(env, resource))
+        env.run()
+        assert granted == [10.0]
+
+
+class TestStore:
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            got.append((item, env.now))
+
+        def producer(env, store):
+            yield env.timeout(4)
+            yield store.put("widget")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert got == [("widget", 4.0)]
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env, store):
+            for item in ["a", "b", "c"]:
+                yield store.put(item)
+
+        def consumer(env, store):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_bounded_put_blocks(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env, store):
+            yield store.put("first")
+            log.append(("put-first", env.now))
+            yield store.put("second")
+            log.append(("put-second", env.now))
+
+        def consumer(env, store):
+            yield env.timeout(5)
+            item = yield store.get()
+            log.append(("got", item, env.now))
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert ("put-first", 0.0) in log
+        assert ("put-second", 5.0) in log
+
+    def test_filtered_get(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env, store):
+            yield store.put(1)
+            yield store.put(2)
+            yield store.put(3)
+
+        def consumer(env, store):
+            item = yield store.get(filter=lambda x: x % 2 == 0)
+            got.append(item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == [2]
+        assert store.items == [1, 3]
+
+    def test_capacity_must_be_positive(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+
+class TestPriorityStore:
+    def test_releases_smallest_first(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def producer(env, store):
+            yield store.put(PriorityItem(3, "low"))
+            yield store.put(PriorityItem(1, "high"))
+            yield store.put(PriorityItem(2, "mid"))
+
+        def consumer(env, store):
+            yield env.timeout(1)
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item.item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == ["high", "mid", "low"]
+
+    def test_ties_broken_by_insertion_order(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def producer(env, store):
+            yield store.put(PriorityItem(1, "first"))
+            yield store.put(PriorityItem(1, "second"))
+
+        def consumer(env, store):
+            yield env.timeout(1)
+            for _ in range(2):
+                item = yield store.get()
+                got.append(item.item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == ["first", "second"]
+
+    def test_remove_by_predicate(self):
+        env = Environment()
+        store = PriorityStore(env)
+
+        def producer(env, store):
+            for priority in range(6):
+                yield store.put(PriorityItem(priority, f"item-{priority}"))
+
+        env.process(producer(env, store))
+        env.run()
+        removed = store.remove(lambda entry: entry.priority % 2 == 0)
+        assert sorted(item.item for item in removed) == [
+            "item-0",
+            "item-2",
+            "item-4",
+        ]
+        assert len(store.items) == 3
+
+    def test_filtered_get_from_priority_store(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+
+        def producer(env, store):
+            yield store.put(PriorityItem(1, "a"))
+            yield store.put(PriorityItem(2, "b"))
+
+        def consumer(env, store):
+            yield env.timeout(1)
+            item = yield store.get(filter=lambda entry: entry.item == "b")
+            got.append(item.item)
+
+        env.process(producer(env, store))
+        env.process(consumer(env, store))
+        env.run()
+        assert got == ["b"]
+        assert len(store.items) == 1
+
+
+class TestContainer:
+    def test_init_level(self):
+        env = Environment()
+        container = Container(env, capacity=100, init=40)
+        assert container.level == 40
+
+    def test_get_blocks_until_level_sufficient(self):
+        env = Environment()
+        container = Container(env, capacity=100)
+        log = []
+
+        def consumer(env, container):
+            yield container.get(10)
+            log.append(("got", env.now))
+
+        def producer(env, container):
+            yield env.timeout(3)
+            yield container.put(10)
+
+        env.process(consumer(env, container))
+        env.process(producer(env, container))
+        env.run()
+        assert log == [("got", 3.0)]
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        container = Container(env, capacity=10, init=10)
+        log = []
+
+        def producer(env, container):
+            yield container.put(5)
+            log.append(("put", env.now))
+
+        def consumer(env, container):
+            yield env.timeout(2)
+            yield container.get(5)
+
+        env.process(producer(env, container))
+        env.process(consumer(env, container))
+        env.run()
+        assert log == [("put", 2.0)]
+
+    def test_invalid_amounts_rejected(self):
+        env = Environment()
+        container = Container(env, capacity=10)
+        with pytest.raises(ValueError):
+            container.put(0)
+        with pytest.raises(ValueError):
+            container.get(-1)
+
+    def test_invalid_init_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, init=20)

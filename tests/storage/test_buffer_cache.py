@@ -1,0 +1,197 @@
+"""Tests for the buffer cache (page cache + mlock pinning + write-back)."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.storage import MB, BufferCache, TransferDevice
+
+
+def make_cache(capacity=100 * MB, flush_device=None):
+    env = Environment()
+    return env, BufferCache(env, capacity=capacity, flush_device=flush_device)
+
+
+class TestResidency:
+    def test_insert_and_contains(self):
+        env, cache = make_cache()
+        assert cache.insert("a", 10 * MB)
+        assert cache.contains("a")
+        assert not cache.contains("b")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_peek_does_not_count(self):
+        env, cache = make_cache()
+        cache.insert("a", 10 * MB)
+        assert cache.peek("a")
+        assert not cache.peek("b")
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_used_bytes_tracks_inserts(self):
+        env, cache = make_cache()
+        cache.insert("a", 10 * MB)
+        cache.insert("b", 20 * MB)
+        assert cache.used_bytes == 30 * MB
+        assert cache.free_bytes == 70 * MB
+
+    def test_duplicate_insert_does_not_double_count(self):
+        env, cache = make_cache()
+        cache.insert("a", 10 * MB)
+        cache.insert("a", 10 * MB)
+        assert cache.used_bytes == 10 * MB
+
+    def test_negative_size_rejected(self):
+        env, cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.insert("a", -1)
+
+    def test_invalid_capacity_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            BufferCache(env, capacity=0)
+
+
+class TestEviction:
+    def test_lru_eviction_on_pressure(self):
+        env, cache = make_cache(capacity=30 * MB)
+        cache.insert("old", 10 * MB)
+        cache.insert("mid", 10 * MB)
+        cache.insert("new", 10 * MB)
+        cache.insert("newest", 10 * MB)  # evicts "old"
+        assert not cache.peek("old")
+        assert cache.peek("mid")
+        assert cache.peek("newest")
+        assert cache.evictions == 1
+
+    def test_contains_refreshes_lru_position(self):
+        env, cache = make_cache(capacity=30 * MB)
+        cache.insert("a", 10 * MB)
+        cache.insert("b", 10 * MB)
+        cache.insert("c", 10 * MB)
+        cache.contains("a")  # refresh a
+        cache.insert("d", 10 * MB)  # evicts b, not a
+        assert cache.peek("a")
+        assert not cache.peek("b")
+
+    def test_pinned_entries_never_evicted_by_pressure(self):
+        env, cache = make_cache(capacity=30 * MB)
+        cache.insert("pinned", 10 * MB, pinned=True)
+        cache.insert("a", 10 * MB)
+        cache.insert("b", 10 * MB)
+        cache.insert("c", 10 * MB)  # must evict a (LRU unpinned)
+        assert cache.peek("pinned")
+        assert not cache.peek("a")
+
+    def test_insert_too_large_to_ever_fit_fails(self):
+        env, cache = make_cache(capacity=30 * MB)
+        assert not cache.insert("huge", 40 * MB)
+        assert cache.used_bytes == 0
+
+    def test_insert_fails_when_pins_block_room(self):
+        env, cache = make_cache(capacity=30 * MB)
+        cache.insert("p1", 15 * MB, pinned=True)
+        cache.insert("p2", 15 * MB, pinned=True)
+        assert not cache.insert("x", 10 * MB)
+
+    def test_explicit_evict(self):
+        env, cache = make_cache()
+        cache.insert("a", 10 * MB)
+        assert cache.evict("a")
+        assert not cache.peek("a")
+        assert cache.used_bytes == 0
+        assert not cache.evict("a")
+
+    def test_flush_all_clears_everything_even_pinned(self):
+        env, cache = make_cache()
+        cache.insert("a", 10 * MB, pinned=True)
+        cache.insert("b", 10 * MB)
+        cache.flush_all()
+        assert cache.used_bytes == 0
+        assert cache.pinned_bytes == 0
+
+
+class TestPinning:
+    def test_pin_and_unpin_track_bytes(self):
+        env, cache = make_cache()
+        cache.insert("a", 10 * MB)
+        assert cache.pin("a")
+        assert cache.pinned_bytes == 10 * MB
+        assert cache.is_pinned("a")
+        assert cache.unpin("a")
+        assert cache.pinned_bytes == 0
+        assert not cache.is_pinned("a")
+
+    def test_pin_absent_key_fails(self):
+        env, cache = make_cache()
+        assert not cache.pin("ghost")
+        assert not cache.unpin("ghost")
+
+    def test_double_pin_is_idempotent(self):
+        env, cache = make_cache()
+        cache.insert("a", 10 * MB)
+        cache.pin("a")
+        cache.pin("a")
+        assert cache.pinned_bytes == 10 * MB
+
+    def test_insert_pinned_then_evict_releases_pin_bytes(self):
+        env, cache = make_cache()
+        cache.insert("a", 10 * MB, pinned=True)
+        cache.evict("a")
+        assert cache.pinned_bytes == 0
+
+    def test_insert_existing_with_pin_upgrades(self):
+        env, cache = make_cache()
+        cache.insert("a", 10 * MB)
+        cache.insert("a", 10 * MB, pinned=True)
+        assert cache.is_pinned("a")
+        assert cache.pinned_bytes == 10 * MB
+
+
+class TestWriteBack:
+    def test_write_absorb_without_device_is_instant(self):
+        env, cache = make_cache()
+        cache.write_absorb("out", 10 * MB)
+        assert cache.peek("out")
+        assert cache.dirty_bytes == 0
+
+    def test_write_back_drains_dirty_bytes_through_device(self):
+        env = Environment()
+        disk = TransferDevice(env, "hdd", bandwidth=100 * MB)
+        cache = BufferCache(env, capacity=1000 * MB, flush_device=disk)
+        cache.write_absorb("out", 200 * MB)
+        assert cache.dirty_bytes == 200 * MB
+        env.run()
+        assert cache.dirty_bytes == 0
+        assert disk.bytes_moved == pytest.approx(200 * MB)
+        # 200MB at 100MB/s -> 2 seconds of flushing.
+        assert env.now == pytest.approx(2.0)
+
+    def test_write_back_contends_with_foreground_reads(self):
+        env = Environment()
+        disk = TransferDevice(env, "hdd", bandwidth=100 * MB)
+        cache = BufferCache(env, capacity=1000 * MB, flush_device=disk)
+        ends = {}
+
+        def writer(env):
+            yield env.timeout(0)
+            cache.write_absorb("out", 100 * MB)
+
+        def reader(env):
+            yield disk.transfer(100 * MB)
+            ends["read"] = env.now
+
+        env.process(writer(env))
+        env.process(reader(env))
+        env.run()
+        # Reader shares the disk with the flusher, so it takes >1s.
+        assert ends["read"] > 1.0
+
+    def test_multiple_writes_accumulate_dirty_bytes(self):
+        env = Environment()
+        disk = TransferDevice(env, "hdd", bandwidth=100 * MB)
+        cache = BufferCache(env, capacity=1000 * MB, flush_device=disk)
+        cache.write_absorb("a", 50 * MB)
+        cache.write_absorb("b", 50 * MB)
+        env.run()
+        assert disk.bytes_moved == pytest.approx(100 * MB)

@@ -1,0 +1,49 @@
+"""Tests for the sort and wordcount workload definitions."""
+
+import pytest
+
+from repro import build_paper_testbed
+from repro.storage import GB, MB
+from repro.workloads import sort, wordcount
+
+
+class TestSortSpec:
+    def test_shuffle_and_output_equal_input(self):
+        spec = sort.make_sort_spec()
+        assert spec.shuffle_bytes == sort.SORT_INPUT_BYTES
+        assert spec.output_bytes == sort.SORT_INPUT_BYTES
+
+    def test_materialize_creates_input(self):
+        cluster = build_paper_testbed()
+        sort.materialize(cluster, 1 * GB)
+        assert cluster.namenode.exists(sort.SORT_INPUT_PATH)
+        assert cluster.namenode.get_file(sort.SORT_INPUT_PATH).nbytes == 1 * GB
+
+    def test_small_sort_runs_end_to_end(self):
+        cluster = build_paper_testbed()
+        sort.materialize(cluster, 1 * GB)
+        job = cluster.engine.submit_job(sort.make_sort_spec(1 * GB))
+        cluster.run()
+        assert job.finished_at is not None
+        assert job.num_maps == 16
+
+
+class TestWordcountSpec:
+    def test_shuffle_is_small_fraction_of_input(self):
+        spec = wordcount.make_wordcount_spec(8)
+        assert spec.shuffle_bytes <= 200 * MB
+        assert spec.output_bytes < spec.shuffle_bytes
+
+    def test_path_distinct_per_size(self):
+        assert wordcount.wordcount_path(1) != wordcount.wordcount_path(2)
+
+    def test_small_wordcount_runs_end_to_end(self):
+        cluster = build_paper_testbed()
+        wordcount.materialize(cluster, 0.5)
+        job = cluster.engine.submit_job(wordcount.make_wordcount_spec(0.5))
+        cluster.run()
+        assert job.finished_at is not None
+
+    def test_default_sweep_covers_paper_range(self):
+        assert min(wordcount.DEFAULT_SIZES_GB) <= 1
+        assert max(wordcount.DEFAULT_SIZES_GB) >= 12
