@@ -1,0 +1,168 @@
+"""Wall-clock benchmark for the 200-job SWIM run.
+
+Measures how long ``run_swim("ignem", num_jobs=200)`` takes end to end
+(cluster build, workload generation, and the full simulation) and writes
+the result to ``benchmarks/perf/BENCH_swim.json``.
+
+Methodology
+-----------
+Timing noise on shared machines easily reaches +/-15%, which swamps the
+effects being measured, so the harness:
+
+* runs every measurement in a **fresh subprocess** (no warm caches or
+  allocator state leaking between trees);
+* takes the **best of N back-to-back repetitions** within a subprocess
+  (the minimum is the least-noise estimator for a deterministic,
+  CPU-bound workload — all noise is additive);
+* when comparing against a baseline git ref, **interleaves** the two
+  trees round-by-round so slow machine phases hit both sides equally.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_swim.py
+    PYTHONPATH=src python benchmarks/perf/bench_swim.py \
+        --baseline-ref <commit> --rounds 6 --reps 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent / "BENCH_swim.json"
+
+_SNIPPET = r"""
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.experiments.swim_runs import run_swim, clear_cache
+best = float("inf")
+for _ in range({reps}):
+    clear_cache()
+    start = time.perf_counter()
+    run_swim({mode!r}, num_jobs={num_jobs})
+    best = min(best, time.perf_counter() - start)
+print(best)
+"""
+
+
+def measure_once(tree: pathlib.Path, mode: str, num_jobs: int, reps: int) -> float:
+    """Best-of-``reps`` wall-clock seconds in one fresh subprocess."""
+    code = _SNIPPET.format(
+        src=str(tree / "src"), reps=reps, mode=mode, num_jobs=num_jobs
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    )
+    return float(out.stdout.strip())
+
+
+def checkout_baseline(ref: str) -> pathlib.Path:
+    """Materialize ``ref`` as a detached git worktree; caller removes it."""
+    tree = pathlib.Path(tempfile.mkdtemp(prefix="bench-baseline-"))
+    subprocess.run(
+        ["git", "worktree", "add", "--detach", "--force", str(tree), ref],
+        cwd=REPO_ROOT,
+        check=True,
+        capture_output=True,
+    )
+    return tree
+
+
+def remove_baseline(tree: pathlib.Path) -> None:
+    subprocess.run(
+        ["git", "worktree", "remove", "--force", str(tree)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+    )
+    shutil.rmtree(tree, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", default="ignem", choices=("hdfs", "ignem", "ram"))
+    parser.add_argument("--num-jobs", type=int, default=200)
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--reps", type=int, default=4)
+    parser.add_argument(
+        "--baseline-ref",
+        default=None,
+        help="git ref to measure against, interleaved round-by-round",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.rounds < 1 or args.reps < 1:
+        parser.error("--rounds and --reps must be >= 1")
+
+    baseline_tree = None
+    if args.baseline_ref:
+        try:
+            baseline_tree = checkout_baseline(args.baseline_ref)
+        except subprocess.CalledProcessError as error:
+            stderr = (error.stderr or b"").decode(errors="replace").strip()
+            parser.error(
+                f"cannot check out baseline ref {args.baseline_ref!r}: {stderr}"
+            )
+
+    current_rounds: list = []
+    baseline_rounds: list = []
+    try:
+        for round_index in range(args.rounds):
+            if baseline_tree is not None:
+                baseline_rounds.append(
+                    measure_once(baseline_tree, args.mode, args.num_jobs, args.reps)
+                )
+            current_rounds.append(
+                measure_once(REPO_ROOT, args.mode, args.num_jobs, args.reps)
+            )
+            line = f"round {round_index}: current {current_rounds[-1]:.3f}s"
+            if baseline_rounds:
+                line += f"  baseline {baseline_rounds[-1]:.3f}s"
+            print(line, flush=True)
+    finally:
+        if baseline_tree is not None:
+            remove_baseline(baseline_tree)
+
+    result = {
+        "workload": f"run_swim({args.mode!r}, num_jobs={args.num_jobs})",
+        "methodology": (
+            "fresh subprocess per round; best of "
+            f"{args.reps} back-to-back repetitions per round; "
+            f"{args.rounds} rounds"
+            + (", interleaved with the baseline tree" if args.baseline_ref else "")
+        ),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "measured_at": time.strftime("%Y-%m-%d"),
+        "current": {
+            "rounds_seconds": [round(s, 3) for s in current_rounds],
+            "best_seconds": round(min(current_rounds), 3),
+        },
+    }
+    if baseline_rounds:
+        result["baseline"] = {
+            "ref": args.baseline_ref,
+            "rounds_seconds": [round(s, 3) for s in baseline_rounds],
+            "best_seconds": round(min(baseline_rounds), 3),
+        }
+        result["speedup"] = round(min(baseline_rounds) / min(current_rounds), 2)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    if "speedup" in result:
+        print(f"speedup vs {args.baseline_ref}: {result['speedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

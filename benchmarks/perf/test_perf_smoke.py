@@ -1,0 +1,32 @@
+"""Perf smoke test: catch large kernel/scheduler slowdowns in CI.
+
+The 200-job SWIM run completes in ~0.35s on a 2026 dev box after the
+locality-index + kernel optimization pass (it took ~1.0s before it; see
+``BENCH_swim.json``).  The ceiling below leaves generous headroom for
+slower CI machines while still failing if the run regresses by more
+than ~2x on comparable hardware — e.g. if locality lookups fall back to
+per-heartbeat cache polling or the event queue loses its packed keys.
+"""
+
+import time
+
+from repro.experiments.swim_runs import clear_cache, run_swim
+
+#: Generous wall-clock budget (seconds) for one 200-job Ignem SWIM run.
+SMOKE_CEILING_SECONDS = 1.5
+
+
+def test_swim_200_jobs_within_wall_clock_budget():
+    best = float("inf")
+    # Best of two: the first run also pays one-time import/JIT-warmup
+    # costs that have nothing to do with simulator throughput.
+    for _ in range(2):
+        clear_cache()
+        start = time.perf_counter()
+        run_swim("ignem", num_jobs=200)
+        best = min(best, time.perf_counter() - start)
+    clear_cache()
+    assert best < SMOKE_CEILING_SECONDS, (
+        f"200-job SWIM run took {best:.2f}s (budget {SMOKE_CEILING_SECONDS}s); "
+        "see benchmarks/perf/bench_swim.py to measure properly"
+    )

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run table1 fig6 --out results/ --seed 0
     python -m repro all --out results/
+    python -m repro profile --mode ignem --num-jobs 200 --top 30
 """
 
 from __future__ import annotations
@@ -36,7 +37,50 @@ def build_parser() -> argparse.ArgumentParser:
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--out", default="results", help="output directory")
     everything.add_argument("--seed", type=int, default=0)
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile one SWIM run (the perf-tuning entry point)",
+        description=(
+            "Run run_swim() under cProfile and print the hottest functions. "
+            "Wall-clock comparisons against a baseline commit belong to "
+            "benchmarks/perf/bench_swim.py; this command answers the "
+            "follow-up question of *where* the time goes."
+        ),
+    )
+    profile.add_argument(
+        "--mode", default="ignem", choices=("hdfs", "ignem", "ram")
+    )
+    profile.add_argument("--num-jobs", type=int, default=200)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--top", type=int, default=30, help="rows to print")
+    profile.add_argument(
+        "--sort",
+        default="tottime",
+        choices=("tottime", "cumtime", "ncalls"),
+        help="stat to sort by",
+    )
     return parser
+
+
+def run_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    from .experiments.swim_runs import clear_cache, run_swim
+
+    # Warm run first: imports and one-time allocations would otherwise
+    # dominate the profile and hide the simulation kernel.
+    clear_cache()
+    run_swim(args.mode, seed=args.seed, num_jobs=args.num_jobs)
+    clear_cache()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_swim(args.mode, seed=args.seed, num_jobs=args.num_jobs)
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -45,6 +89,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in available_experiments():
             print(name)
         return 0
+    if args.command == "profile":
+        return run_profile(args)
 
     names = None if args.command == "all" else args.experiments
     try:

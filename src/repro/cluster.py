@@ -77,6 +77,10 @@ class Cluster:
         from .scheduler.resource_manager import ResourceManager
 
         self.rm = ResourceManager(self.env, locality_wait=cfg.locality_wait)
+        # Push-based memory-locality metadata: DataNode caches publish
+        # residency deltas into the NameNode's index, and the scheduler's
+        # per-node candidate buckets subscribe to the same feed.
+        self.rm.attach_locality_index(self.namenode.locality_index)
         self.datanodes: Dict[str, DataNode] = {}
         stagger = cfg.heartbeat_interval / max(1, cfg.num_nodes)
         for index in range(cfg.num_nodes):

@@ -9,7 +9,7 @@ from typing import Tuple
 from ..dfs.blocks import Block
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class MigrationWorkItem:
     """One block-migration order queued at a slave.
 
@@ -34,7 +34,7 @@ class MigrationWorkItem:
         return self.block.block_id
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class MigrateCommand:
     """Master -> slave batch: migrate these blocks for this job."""
 
@@ -42,7 +42,7 @@ class MigrateCommand:
     items: Tuple[MigrationWorkItem, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class EvictCommand:
     """Master -> slave batch: drop this job's references to these blocks."""
 

@@ -79,16 +79,19 @@ class IgnemMaster:
         submitted_at = self.env.now
 
         batches: Dict[str, List[MigrationWorkItem]] = {}
+        namenode = self.namenode
+        slaves = self._slaves
+        assignments = self._assignments
         order_hint = 0
         for path in paths:
-            for block in self.namenode.file_blocks(path):
-                locations = self.namenode.get_block_locations(block.block_id)
-                usable = [node for node in locations if node in self._slaves]
+            for block in namenode.file_blocks(path):
+                locations = namenode.get_block_locations(block.block_id)
+                usable = [node for node in locations if node in slaves]
                 if not usable:
                     continue
                 key = (job_id, block.block_id)
                 previous = [
-                    node for node in self._assignments.get(key, ()) if node in usable
+                    node for node in assignments.get(key, ()) if node in usable
                 ]
                 if previous:
                     # A duplicate migrate call (client retry) must reuse
@@ -99,7 +102,7 @@ class IgnemMaster:
                     count = min(self.config.replicas_to_migrate, len(usable))
                     chosen_nodes = self.rng.sample(sorted(usable), count)
                 # Eviction routing remembers every chosen holder.
-                self._assignments[key] = tuple(chosen_nodes)
+                assignments[key] = tuple(chosen_nodes)
                 for chosen in chosen_nodes:
                     batches.setdefault(chosen, []).append(
                         MigrationWorkItem(

@@ -76,7 +76,7 @@ class IgnemSlave:
             refs.add(item.job_id)
             if item.implicit_eviction:
                 self._implicit_jobs.add(item.job_id)
-            self.queue.put(PriorityItem(self.policy.priority(item), item))
+            self.queue.put_nowait(PriorityItem(self.policy.priority(item), item))
 
     def receive_evict(self, command: EvictCommand) -> None:
         """Drop a completed job's references (explicit eviction)."""

@@ -11,9 +11,12 @@ from ..storage.device import MB
 DEFAULT_BLOCK_SIZE = 64 * MB
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Block:
-    """One immutable chunk of a DFS file."""
+    """One chunk of a DFS file.  Treat as immutable: blocks are shared
+    between the namespace, DataNodes, and task requests (``frozen=True``
+    would enforce that, but its per-field ``object.__setattr__`` makes
+    dataset materialization measurably slower)."""
 
     block_id: str
     path: str
@@ -25,7 +28,7 @@ class Block:
             raise ValueError(f"block size must be non-negative, got {self.nbytes}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class FileMetadata:
     """Namespace entry: a path plus its ordered blocks.
 

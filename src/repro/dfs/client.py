@@ -13,7 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..net.network import Network
 from ..sim.engine import Environment
-from ..sim.events import Event
+from ..sim.events import Event, join_all
 from ..sim.rand import RandomSource
 from .blocks import Block, FileMetadata
 from .namenode import NameNode, NameNodeError
@@ -87,14 +87,10 @@ class DFSClient:
 
         This is the locality-preference API of paper Section III-A2: big
         data file systems let tasks query input locations; Ignem extends
-        the answer with migrated (in-memory) locations.
+        the answer with migrated (in-memory) locations.  Served from the
+        NameNode's push-maintained locality index — no DataNode polling.
         """
-        nodes = self.namenode.get_block_locations(block.block_id)
-        return [
-            node
-            for node in nodes
-            if self.namenode.datanode(node).block_in_memory(block.block_id)
-        ]
+        return self.namenode.memory_locations(block.block_id)
 
     def read_block(
         self,
@@ -124,11 +120,10 @@ class DFSClient:
             if preferred:
                 locations = preferred
 
-        in_memory = [
-            node
-            for node in locations
-            if self.namenode.datanode(node).block_in_memory(block.block_id)
-        ]
+        resident = self.namenode.memory_nodes(block.block_id)
+        in_memory = (
+            [node for node in locations if node in resident] if resident else []
+        )
 
         if in_memory:
             serving = reader_node if reader_node in in_memory else self.rng.choice(
@@ -148,7 +143,7 @@ class DFSClient:
             net = self.network.transfer(
                 serving, reader_node, block.nbytes, tag=("read", block.block_id)
             )
-            done = self.env.all_of([handle.done, net])
+            done = join_all(self.env, (handle.done, net))
         return ClientRead(done, handle.source, serving, block)
 
     # -- writes -------------------------------------------------------------------
@@ -177,7 +172,7 @@ class DFSClient:
         pending: List[Event] = []
         for block in metadata.blocks:
             for node in self.namenode.get_block_locations(block.block_id):
-                self.namenode.datanode(node).write_block(block)
+                self.namenode.datanode(node).absorb_write(block)
                 if node != writer_node:
                     pending.append(
                         self.network.transfer(
@@ -188,7 +183,7 @@ class DFSClient:
             done = Event(self.env)
             done.succeed(None)
             return done
-        return self.env.all_of(pending)
+        return join_all(self.env, pending)
 
     # -- Ignem API (paper Section III-B3) -----------------------------------------
 

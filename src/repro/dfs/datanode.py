@@ -74,6 +74,33 @@ class DataNode:
         #: read served by this node.  Ignem's slave uses it for implicit
         #: eviction; HDFS read calls carry the job ID (paper III-B2).
         self.on_block_read: Optional[Callable[[Block, Optional[str]], None]] = None
+        #: Residency-delta subscriber (the NameNode's memory-locality
+        #: index); receives ``(node_name, key, resident)``.
+        self._residency_listener: Optional[Callable[[str, str, bool], None]] = None
+
+    # -- residency delta publication -----------------------------------------
+
+    def attach_residency_listener(
+        self, listener: Callable[[str, str, bool], None]
+    ) -> None:
+        """Start pushing buffer-cache residency deltas to ``listener``.
+
+        Deltas carry ``(node_name, key, resident)`` and cover every way a
+        key can (stop) being RAM-resident: migration pin-ins, read-path
+        caching, write absorption, LRU eviction, explicit eviction, and
+        the cache flush of a node failure.
+        """
+        self._residency_listener = listener
+        self.cache.on_residency_change = self._publish_residency
+
+    def detach_residency_listener(self) -> None:
+        self._residency_listener = None
+        self.cache.on_residency_change = None
+
+    def _publish_residency(self, key, resident: bool) -> None:
+        listener = self._residency_listener
+        if listener is not None:
+            listener(self.name, key, resident)
 
     # -- block placement ----------------------------------------------------
 
@@ -84,10 +111,11 @@ class DataNode:
     def store_block(self, block: Block) -> None:
         """Place a replica of ``block`` on this node's disk (no IO cost;
         dataset generation happens before the measured run)."""
-        self._ensure_alive()
+        if not self.alive:
+            raise DataNodeError(f"DataNode {self.name} is down")
         if block.block_id in self._blocks:
             return
-        if not self.has_capacity(block.nbytes):
+        if self.disk_used + block.nbytes > self.disk_capacity:
             raise DataNodeError(f"{self.name} is out of disk space")
         self.disk_used += block.nbytes
         self._blocks[block.block_id] = block
@@ -131,8 +159,12 @@ class DataNode:
             done.callbacks.append(lambda _event: hook(block, job_id))
         return ReadHandle(done=done, source=source, node=self.name)
 
-    def write_block(self, block: Block) -> Event:
-        """Write a new block: absorbed by the buffer cache (write-back)."""
+    def absorb_write(self, block: Block) -> None:
+        """Write a new block: absorbed by the buffer cache (write-back).
+
+        Completes synchronously (the cache absorbs at memory speed); use
+        :meth:`write_block` when the caller needs an event to wait on.
+        """
         self._ensure_alive()
         if block.block_id not in self._blocks:
             if not self.has_capacity(block.nbytes):
@@ -140,6 +172,10 @@ class DataNode:
             self.disk_used += block.nbytes
             self._blocks[block.block_id] = block
         self.cache.write_absorb(block.block_id, block.nbytes)
+
+    def write_block(self, block: Block) -> Event:
+        """Event-returning wrapper around :meth:`absorb_write`."""
+        self.absorb_write(block)
         done = Event(self.env)
         done.succeed(None)
         return done

@@ -12,7 +12,7 @@ from ..metrics.records import BlockReadRecord, JobRecord, TaskRecord
 from ..scheduler.containers import TaskRequest
 from ..scheduler.resource_manager import ResourceManager
 from ..sim.engine import Environment
-from ..sim.events import Event
+from ..sim.events import Event, Timeout, join_all
 from .spec import EngineConfig, JobSpec
 
 
@@ -115,12 +115,12 @@ class MRJob:
         # Artificially inserted lead-time (the Ignem+10s experiment,
         # Section IV-F).  The sleep is counted in the job duration.
         if self.extra_lead_time > 0:
-            yield self.env.timeout(self.extra_lead_time)
+            yield Timeout(self.env, self.extra_lead_time)
 
         if self.config.job_submit_overhead > 0:
-            yield self.env.timeout(self.config.job_submit_overhead)
+            yield Timeout(self.env, self.config.job_submit_overhead)
 
-        self._map_done_events = [self.env.event() for _ in self._blocks]
+        self._map_done_events = [Event(self.env) for _ in self._blocks]
         self._map_durations: List[float] = []
         map_tasks = [
             self._make_map_task(index, block, self._map_done_events[index])
@@ -131,17 +131,19 @@ class MRJob:
             self.env.process(
                 self._speculator(map_tasks), name=f"speculator-{self.job_id}"
             )
-        yield self.env.all_of(self._map_done_events)
+        yield join_all(self.env, self._map_done_events)
 
         if self.num_reduces > 0:
             reduce_tasks = [
                 self._make_reduce_task(index) for index in range(self.num_reduces)
             ]
             self.rm.submit_all(reduce_tasks)
-            yield self.env.all_of([task.completed for task in reduce_tasks])
+            yield join_all(
+                self.env, [task.completed for task in reduce_tasks]
+            )
 
         if self.config.job_commit_overhead > 0:
-            yield self.env.timeout(self.config.job_commit_overhead)
+            yield Timeout(self.env, self.config.job_commit_overhead)
 
         self.finished_at = self.env.now
         self.rm.unregister_job(self.job_id)
@@ -184,11 +186,14 @@ class MRJob:
         def execute(node: str):
             return self._run_map(task_id, block, node, done, avoid)
 
-        disk_nodes = [
-            node
-            for node in self.client.namenode.get_block_locations(block.block_id)
-            if node not in set(avoid)
-        ] or self.client.namenode.get_block_locations(block.block_id)
+        locations = self.client.namenode.get_block_locations(block.block_id)
+        if avoid:
+            avoid_set = set(avoid)
+            disk_nodes = [
+                node for node in locations if node not in avoid_set
+            ] or locations
+        else:
+            disk_nodes = locations
         return TaskRequest(
             self.env,
             self.job_id,
@@ -197,6 +202,7 @@ class MRJob:
             execute,
             disk_nodes=disk_nodes,
             memory_nodes_fn=lambda: self.client.memory_locations(block),
+            input_block_id=block.block_id,
         )
 
     def _speculator(self, map_tasks: List[TaskRequest]):
@@ -248,7 +254,7 @@ class MRJob:
                             avoid=avoid,
                         )
                         self.rm.submit(duplicate)
-            yield self.env.timeout(cfg.speculative_poll_interval)
+            yield Timeout(self.env, cfg.speculative_poll_interval)
 
     def _run_map(
         self,
@@ -262,7 +268,7 @@ class MRJob:
         if self.first_task_start is None:
             self.first_task_start = self.env.now
 
-        yield self.env.timeout(self.config.task_startup_overhead)
+        yield Timeout(self.env, self.config.task_startup_overhead)
 
         read = self.client.read_block(
             block, node, job_id=self.job_id, avoid=avoid
@@ -284,7 +290,8 @@ class MRJob:
 
         cpu_rate = self.config.map_cpu_bytes_per_sec
         if self.spec.map_cpu_factor > 0 and block.nbytes > 0:
-            yield self.env.timeout(
+            yield Timeout(
+                self.env,
                 block.nbytes * self.spec.map_cpu_factor / cpu_rate
             )
 
@@ -334,7 +341,7 @@ class MRJob:
 
     def _run_reduce(self, task_id: str, index: int, node: str):
         scheduled_at = self.env.now
-        yield self.env.timeout(self.config.task_startup_overhead)
+        yield Timeout(self.env, self.config.task_startup_overhead)
 
         share = (
             self.spec.shuffle_bytes / self.num_reduces if self.num_reduces else 0.0
@@ -351,10 +358,11 @@ class MRJob:
                         )
                     )
         if fetches:
-            yield self.env.all_of(fetches)
+            yield join_all(self.env, fetches)
 
         if share > 0 and self.spec.reduce_cpu_factor > 0:
-            yield self.env.timeout(
+            yield Timeout(
+                self.env,
                 share
                 * self.spec.reduce_cpu_factor
                 / self.config.reduce_cpu_bytes_per_sec

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class BlockReadRecord:
     """One HDFS block read by one task."""
 
@@ -30,7 +30,7 @@ class BlockReadRecord:
         return self.end - self.start
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class TaskRecord:
     """One task (map or reduce) execution."""
 
@@ -53,7 +53,7 @@ class TaskRecord:
         return self.start - self.scheduled_at
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class JobRecord:
     """One job from submission to completion."""
 
@@ -76,7 +76,7 @@ class JobRecord:
         return self.first_task_start - self.submitted_at
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class MigrationRecord:
     """One block migration performed by an Ignem slave."""
 
@@ -94,7 +94,7 @@ class MigrationRecord:
         return self.end - self.start
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class EvictionRecord:
     """One block eviction from an Ignem slave's migration buffer."""
 
@@ -105,7 +105,7 @@ class EvictionRecord:
     reason: str  # "explicit" | "implicit" | "cleanup" | "failure"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class MemorySample:
     """Point-in-time migrated-bytes usage on one node (Fig 7)."""
 

@@ -8,6 +8,10 @@ from typing import Callable, FrozenSet, Generator, Iterable, Optional
 from ..sim.engine import Environment
 from ..sim.events import Event
 
+#: Shared empty result for tasks with no memory-locality source; avoids
+#: allocating a fresh frozenset on every scheduling probe.
+NO_MEMORY_NODES: FrozenSet[str] = frozenset()
+
 
 class TaskRequest:
     """One schedulable task.
@@ -28,6 +32,12 @@ class TaskRequest:
         memory — evaluated at scheduling time because migration state
         changes while the task queues (paper Section III-A2's migrated-
         locality preference).
+    input_block_id:
+        The DFS block this task reads, when it reads exactly one.  Lets a
+        ResourceManager with an attached memory-locality index track the
+        task's memory locality via push deltas (O(1) per update) instead
+        of calling ``memory_nodes_fn`` per scheduling probe; the index
+        takes precedence over ``memory_nodes_fn`` when both are present.
     """
 
     _seq = itertools.count()
@@ -41,6 +51,7 @@ class TaskRequest:
         execute: Callable[[str], Generator],
         disk_nodes: Iterable[str] = (),
         memory_nodes_fn: Optional[Callable[[], Iterable[str]]] = None,
+        input_block_id: Optional[str] = None,
     ):
         if kind not in ("map", "reduce"):
             raise ValueError(f"kind must be 'map' or 'reduce', got {kind!r}")
@@ -51,6 +62,10 @@ class TaskRequest:
         self.execute = execute
         self.disk_nodes: FrozenSet[str] = frozenset(disk_nodes)
         self.memory_nodes_fn = memory_nodes_fn
+        self.input_block_id = input_block_id
+        #: Whether the owning ResourceManager tracks this task through its
+        #: locality-index candidate buckets (set at enqueue time).
+        self.rm_indexed = False
 
         #: Monotone sequence used for FIFO ordering across jobs.
         self.seq = next(TaskRequest._seq)
@@ -70,7 +85,7 @@ class TaskRequest:
 
     def memory_nodes(self) -> FrozenSet[str]:
         if self.memory_nodes_fn is None:
-            return frozenset()
+            return NO_MEMORY_NODES
         return frozenset(self.memory_nodes_fn())
 
     def __repr__(self) -> str:

@@ -6,7 +6,7 @@ import math
 from typing import TYPE_CHECKING, Optional
 
 from ..sim.engine import Environment
-from ..sim.events import Event
+from ..sim.events import Event, Timeout
 from .containers import TaskRequest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -82,13 +82,15 @@ class NodeManager:
         self.notify_work()
 
     def _container(self, task: TaskRequest):
-        worker = self.env.process(
-            task.execute(self.name), name=f"task-{task.task_id}"
-        )
-        self._running[task.task_id] = worker
+        # The task body runs inside the container process itself
+        # (``yield from``) rather than in a second wrapped process: one
+        # Process and one Initialize event per task is pure overhead, and
+        # interrupts delivered to the container reach the delegated task
+        # frame exactly as they reached the worker process before.
+        self._running[task.task_id] = self.env.active_process
         error: Optional[BaseException] = None
         try:
-            yield worker
+            yield from task.execute(self.name)
         except BaseException as raised:  # task crashed or was interrupted
             error = raised
         finally:
@@ -108,13 +110,13 @@ class NodeManager:
     def _heartbeat_loop(self):
         while self.alive:
             if self._rm is None or self._rm.pending_count == 0:
-                self._wake = self.env.event()
+                self._wake = Event(self.env)
                 yield self._wake
                 self._wake = None
                 continue
             when = self._next_heartbeat_time()
             if when > self.env.now:
-                yield self.env.timeout(when - self.env.now)
+                yield Timeout(self.env, when - self.env.now)
             if not self.alive:
                 break
             self._rm.on_heartbeat(self)

@@ -2,11 +2,42 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set
 
 from ..sim.engine import Environment
 from .containers import TaskRequest
 from .node_manager import NodeManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..dfs.memory_index import MemoryLocalityIndex
+
+
+class _NodeBucket:
+    """Per-node scheduling candidates, ordered by queue position.
+
+    A lazy-deletion min-heap over ``(queue_pos, task)`` plus a live
+    membership set: adds push a fresh heap entry; removals only touch the
+    membership set and stale heap entries are skipped (and popped) when
+    they surface at the top.  Queue positions are globally unique, so two
+    distinct tasks never compare and heap entries never tie-break on the
+    task object itself.
+    """
+
+    __slots__ = ("heap", "members")
+
+    def __init__(self) -> None:
+        self.heap: list = []
+        self.members: Dict[TaskRequest, None] = {}
+
+    def add(self, task: TaskRequest, pos: int) -> None:
+        if task in self.members:
+            return
+        self.members[task] = None
+        heappush(self.heap, (pos, task))
+
+    def discard(self, task: TaskRequest) -> None:
+        self.members.pop(task, None)
 
 
 class ResourceManager:
@@ -27,6 +58,18 @@ class ResourceManager:
     that has locality *somewhere* is held back from non-local placement
     until it has waited at least that long, at the cost of slot idling.
     The default of 0 disables it (plain Hadoop FIFO behaviour).
+
+    **Fast path.**  With a memory-locality index attached (see
+    :meth:`attach_locality_index`), the RM maintains per-node candidate
+    buckets — one memory-local, one disk-local — updated on task
+    enqueue/dequeue and on index residency deltas.  Each pick then costs
+    O(candidates on this node) instead of three O(pending) scans with an
+    O(replicas) cache poll per task, while provably preserving the exact
+    pick order of the scan: every bucket lookup returns the minimum queue
+    position, which is the first match a FIFO scan would have found.
+    Tasks that carry a custom ``memory_nodes_fn`` without an
+    ``input_block_id`` fall back to the scan path (with one cached
+    ``memory_nodes()`` evaluation per task per scheduling round).
     """
 
     def __init__(
@@ -43,8 +86,23 @@ class ResourceManager:
         self.locality_wait = float(locality_wait)
         self.max_task_attempts = max_task_attempts
         self._nodes: Dict[str, NodeManager] = {}
-        self._pending: List[TaskRequest] = []
+        #: FIFO queue: task -> queue position.  Python dicts preserve
+        #: insertion order, so iteration order == ascending position.
+        self._pending: Dict[TaskRequest, int] = {}
+        self._qpos = 0
         self._active_jobs: Set[str] = set()
+        #: Optional push-maintained block -> in-RAM-nodes index.
+        self._locality_index: Optional["MemoryLocalityIndex"] = None
+        #: Per-node candidate buckets (fast path).
+        self._mem_buckets: Dict[str, _NodeBucket] = {}
+        self._disk_buckets: Dict[str, _NodeBucket] = {}
+        #: Reverse map for translating index deltas into bucket updates.
+        self._tasks_by_block: Dict[str, Dict[TaskRequest, None]] = {}
+        #: Pending tasks the buckets cannot represent (scan fallback).
+        self._unindexed = 0
+        #: memory_nodes() memoization for the scan path, valid for one
+        #: scheduling round (no simulation state changes mid-round).
+        self._round_mem_cache: Dict[TaskRequest, FrozenSet[str]] = {}
         self.tasks_launched = 0
         self.tasks_finished = 0
         self.tasks_retried = 0
@@ -61,6 +119,19 @@ class ResourceManager:
     def nodes(self) -> List[NodeManager]:
         return list(self._nodes.values())
 
+    def attach_locality_index(self, index: "MemoryLocalityIndex") -> None:
+        """Subscribe to a memory-locality index and enable the indexed
+        scheduler fast path.  Must happen before any task is submitted so
+        the candidate buckets never miss a delta."""
+        if self._locality_index is index:
+            return
+        if self._locality_index is not None:
+            raise ValueError("a locality index is already attached")
+        if self._pending:
+            raise ValueError("attach the locality index before submitting tasks")
+        self._locality_index = index
+        index.add_listener(self._on_memory_delta)
+
     # -- job lifecycle -------------------------------------------------------------
 
     def register_job(self, job_id: str) -> None:
@@ -70,7 +141,8 @@ class ResourceManager:
     def unregister_job(self, job_id: str) -> None:
         self._active_jobs.discard(job_id)
         # Drop any of the job's tasks that never started (job killed).
-        self._pending = [t for t in self._pending if t.job_id != job_id]
+        for task in [t for t in self._pending if t.job_id == job_id]:
+            self._dequeue(task)
 
     def job_active(self, job_id: str) -> bool:
         """The liveness probe Ignem slaves use to purge leaked references."""
@@ -81,28 +153,108 @@ class ResourceManager:
     def submit(self, task: TaskRequest) -> None:
         """Queue one task; it will start at some node's future heartbeat."""
         task.submitted_at = self.env.now
-        self._pending.append(task)
+        self._enqueue(task)
         for node in self._nodes.values():
             node.notify_work()
 
     def submit_all(self, tasks: List[TaskRequest]) -> None:
+        """Queue a batch of tasks with a single notification round.
+
+        Notifying after each task would wake every node once per task;
+        notify_work on an already-woken node is a no-op, so enqueueing
+        the whole batch first and notifying once is equivalent.
+        """
+        now = self.env.now
         for task in tasks:
-            self.submit(task)
+            task.submitted_at = now
+            self._enqueue(task)
+        if tasks:
+            for node in self._nodes.values():
+                node.notify_work()
 
     @property
     def pending_count(self) -> int:
         return len(self._pending)
+
+    def _enqueue(self, task: TaskRequest) -> None:
+        self._qpos += 1
+        pos = self._qpos
+        self._pending[task] = pos
+        index = self._locality_index
+        block_id = task.input_block_id
+        # Index-tracked unless the task's memory locality comes from an
+        # opaque callable the index knows nothing about.
+        indexed = index is not None and (
+            block_id is not None or task.memory_nodes_fn is None
+        )
+        task.rm_indexed = indexed
+        if not indexed:
+            self._unindexed += 1
+            return
+        for node in task.disk_nodes:
+            bucket = self._disk_buckets.get(node)
+            if bucket is None:
+                bucket = self._disk_buckets[node] = _NodeBucket()
+            bucket.add(task, pos)
+        if block_id is not None:
+            self._tasks_by_block.setdefault(block_id, {})[task] = None
+            for node in index.nodes(block_id):
+                bucket = self._mem_buckets.get(node)
+                if bucket is None:
+                    bucket = self._mem_buckets[node] = _NodeBucket()
+                bucket.add(task, pos)
+
+    def _dequeue(self, task: TaskRequest) -> None:
+        del self._pending[task]
+        if not task.rm_indexed:
+            self._unindexed -= 1
+            return
+        for node in task.disk_nodes:
+            bucket = self._disk_buckets.get(node)
+            if bucket is not None:
+                bucket.discard(task)
+        block_id = task.input_block_id
+        if block_id is not None:
+            tasks = self._tasks_by_block.get(block_id)
+            if tasks is not None:
+                tasks.pop(task, None)
+                if not tasks:
+                    del self._tasks_by_block[block_id]
+            for node in self._locality_index.nodes(block_id):
+                bucket = self._mem_buckets.get(node)
+                if bucket is not None:
+                    bucket.discard(task)
+
+    def _on_memory_delta(self, block_id: str, node: str, resident: bool) -> None:
+        """Index listener: keep the memory-local buckets in sync."""
+        tasks = self._tasks_by_block.get(block_id)
+        if not tasks:
+            return
+        if resident:
+            bucket = self._mem_buckets.get(node)
+            if bucket is None:
+                bucket = self._mem_buckets[node] = _NodeBucket()
+            pending = self._pending
+            for task in tasks:
+                bucket.add(task, pending[task])
+        else:
+            bucket = self._mem_buckets.get(node)
+            if bucket is not None:
+                for task in tasks:
+                    bucket.discard(task)
 
     # -- heartbeat-driven scheduling ---------------------------------------------------
 
     def on_heartbeat(self, node: NodeManager) -> None:
         if not node.alive:
             return
+        if self._round_mem_cache:
+            self._round_mem_cache = {}
         while node.free_slots > 0 and self._pending:
             task = self._pick_task(node.name)
             if task is None:
                 break
-            self._pending.remove(task)
+            self._dequeue(task)
             self.tasks_launched += 1
             node.launch(task)
 
@@ -129,23 +281,107 @@ class ResourceManager:
                 task.completed.fail(error)
             return
         self.tasks_retried += 1
-        self._pending.append(task)
+        self._enqueue(task)
         for other in self._nodes.values():
             other.notify_work()
         if node.alive:
             self.on_heartbeat(node)
 
+    # -- task picking -------------------------------------------------------------------
+
     def _pick_task(self, node_name: str) -> Optional[TaskRequest]:
         if not self._pending:
             return None
+        if self._unindexed == 0 and self._locality_index is not None:
+            return self._pick_task_indexed(node_name)
+        return self._pick_task_scan(node_name)
+
+    def _pick_task_indexed(self, node_name: str) -> Optional[TaskRequest]:
+        """Bucket-backed pick: identical order to the scan, O(candidates)."""
         # Pass 1: memory locality (migrated replicas).
+        task = self._bucket_min(self._mem_buckets.get(node_name), node_name)
+        if task is not None:
+            return task
+        # Pass 2: disk locality.
+        task = self._bucket_min(self._disk_buckets.get(node_name), node_name)
+        if task is not None:
+            return task
+        # Pass 3: FIFO, optionally gated by delay scheduling.
+        locality_wait = self.locality_wait
+        if locality_wait <= 0:
+            for task in self._pending:
+                if node_name not in task.excluded_nodes:
+                    return task
+            return None
+        now = self.env.now
+        index = self._locality_index
         for task in self._pending:
             if node_name in task.excluded_nodes:
                 continue
-            if node_name in task.memory_nodes():
+            block_id = task.input_block_id
+            has_locality = bool(task.disk_nodes) or (
+                block_id is not None and bool(index.nodes(block_id))
+            )
+            waited = now - (task.submitted_at or now)
+            if has_locality and waited < locality_wait:
+                continue
+            return task
+        return None
+
+    def _bucket_min(
+        self, bucket: Optional[_NodeBucket], node_name: str
+    ) -> Optional[TaskRequest]:
+        """First eligible task in queue order, skipping stale heap entries.
+
+        An entry is stale when the task left the bucket's membership set
+        (dequeued, or an eviction delta removed its locality) or was
+        re-enqueued under a newer position.  Exclusions are per-node and
+        monotone, so excluded tasks are dropped permanently.
+        """
+        if bucket is None:
+            return None
+        heap = bucket.heap
+        members = bucket.members
+        pending = self._pending
+        while heap:
+            pos, task = heap[0]
+            if task not in members or pending.get(task) != pos:
+                heappop(heap)
+                continue
+            if node_name in task.excluded_nodes:
+                heappop(heap)
+                del members[task]
+                continue
+            return task
+        return None
+
+    def _pick_task_scan(self, node_name: str) -> Optional[TaskRequest]:
+        """Reference scan over the FIFO queue (fallback for tasks with
+        opaque ``memory_nodes_fn`` locality).  Memory locality is resolved
+        once per task per scheduling round via ``_round_mem_cache``."""
+        pending = self._pending
+        mem_cache = self._round_mem_cache
+        index = self._locality_index
+
+        def memory_nodes(task: TaskRequest) -> FrozenSet[str]:
+            nodes = mem_cache.get(task)
+            if nodes is None:
+                block_id = task.input_block_id
+                if task.rm_indexed and block_id is not None:
+                    nodes = index.nodes(block_id)
+                else:
+                    nodes = task.memory_nodes()
+                mem_cache[task] = nodes
+            return nodes
+
+        # Pass 1: memory locality (migrated replicas).
+        for task in pending:
+            if node_name in task.excluded_nodes:
+                continue
+            if node_name in memory_nodes(task):
                 return task
         # Pass 2: disk locality.
-        for task in self._pending:
+        for task in pending:
             if node_name in task.excluded_nodes:
                 continue
             if node_name in task.disk_nodes:
@@ -154,11 +390,11 @@ class ResourceManager:
         # has locality somewhere keeps waiting for a local slot until its
         # patience runs out.
         now = self.env.now
-        for task in self._pending:
+        for task in pending:
             if node_name in task.excluded_nodes:
                 continue
             if self.locality_wait > 0:
-                has_locality = bool(task.disk_nodes) or bool(task.memory_nodes())
+                has_locality = bool(task.disk_nodes) or bool(memory_nodes(task))
                 waited = now - (task.submitted_at or now)
                 if has_locality and waited < self.locality_wait:
                     continue

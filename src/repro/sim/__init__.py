@@ -25,6 +25,7 @@ from .events import (
     Interrupt,
     SimulationError,
     Timeout,
+    join_all,
 )
 from .process import Process
 from .rand import RandomSource, derive_seed
@@ -55,4 +56,5 @@ __all__ = [
     "Store",
     "Timeout",
     "derive_seed",
+    "join_all",
 ]

@@ -2,10 +2,19 @@
 
 from __future__ import annotations
 
-import heapq
+import gc
+from heapq import heappop, heappush
 from typing import Any, Generator, Optional, Union
 
-from .events import NORMAL, AllOf, AnyOf, Event, SimulationError, Timeout
+from .events import (
+    NORMAL,
+    PRIORITY_SHIFT,
+    AllOf,
+    AnyOf,
+    Event,
+    SimulationError,
+    Timeout,
+)
 from .process import Process
 
 
@@ -22,19 +31,21 @@ class Environment:
 
     Time is a float with arbitrary units (this project uses seconds).
     Events are processed in ``(time, priority, insertion order)`` order so
-    simultaneous events execute deterministically.
+    simultaneous events execute deterministically; queue entries pack
+    priority and insertion counter into one int key (see
+    ``events.PRIORITY_SHIFT``).
     """
 
+    __slots__ = ("now", "_queue", "_eid", "_active_process")
+
     def __init__(self, initial_time: float = 0.0):
-        self._now = float(initial_time)
+        #: Current simulation time.  A plain attribute (not a property):
+        #: it is read on nearly every operation in the stack, and property
+        #: dispatch is measurable at that volume.  Treat as read-only.
+        self.now = float(initial_time)
         self._queue: list = []
         self._eid = 0
         self._active_process: Optional[Process] = None
-
-    @property
-    def now(self) -> float:
-        """Current simulation time."""
-        return self._now
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -72,7 +83,10 @@ class Environment:
     ) -> None:
         """Queue ``event`` to be processed ``delay`` time units from now."""
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(
+            self._queue,
+            (self.now + delay, (priority << PRIORITY_SHIFT) + self._eid, event),
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""
@@ -88,21 +102,22 @@ class Environment:
         programming errors never pass silently).
         """
         try:
-            when, _, _, event = heapq.heappop(self._queue)
+            when, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
-        self._now = when
+        self.now = when
+        # Inlined Event._mark_processed: this is the single hottest
+        # statement sequence in the kernel.
         callbacks = event.callbacks
-        event._mark_processed()
+        event._processed = True
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
 
-        if not event._ok and not callbacks and not isinstance(event, Process):
-            raise event._value
-        if not event._ok and isinstance(event, Process) and not callbacks:
-            # A process crashed and nobody was waiting for it: surface the
-            # error rather than letting it vanish.
+        if not event._ok and not callbacks:
+            # A failed event (or crashed process) nobody was waiting on:
+            # surface the error rather than letting it vanish.
             raise event._value
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
@@ -127,9 +142,9 @@ class Environment:
                 stop.callbacks.append(self._stop_callback)
             else:
                 at = float(until)
-                if at < self._now:
+                if at < self.now:
                     raise ValueError(
-                        f"until ({at}) must not be before now ({self._now})"
+                        f"until ({at}) must not be before now ({self.now})"
                     )
                 stop = Event(self)
                 stop._ok = True
@@ -138,12 +153,38 @@ class Environment:
                 self._eid += 1
                 # Schedule at the stop time with the most urgent priority so
                 # the clock never advances past it.
-                heapq.heappush(self._queue, (at, -1, self._eid, stop))
+                heappush(
+                    self._queue,
+                    (at, (-1 << PRIORITY_SHIFT) + self._eid, stop),
+                )
                 stop.callbacks.append(self._stop_callback)
 
+        # The kernel allocates short-lived events at a rate that makes
+        # cyclic-GC pauses a measurable fraction of a run; nothing in the
+        # simulator relies on finalizers, so suspend collection for the
+        # duration and restore the caller's setting afterwards.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        # The run loop inlines step(): one Python-level call per event is
+        # measurable at the millions-of-events scale of a SWIM run.  The
+        # body must stay semantically identical to step().
+        queue = self._queue
+        pop = heappop
         try:
             while True:
-                self.step()
+                try:
+                    when, _, event = pop(queue)
+                except IndexError:
+                    raise EmptySchedule() from None
+                self.now = when
+                callbacks = event.callbacks
+                event._processed = True
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not callbacks:
+                    raise event._value
         except StopSimulation as end:
             return end.args[0] if end.args else None
         except EmptySchedule:
@@ -153,6 +194,9 @@ class Environment:
                         "no more events; the until-event was never triggered"
                     ) from None
             return None
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

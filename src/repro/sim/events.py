@@ -10,6 +10,7 @@ small, fully self-contained implementation.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -21,6 +22,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 URGENT = 0
 #: Priority band for ordinary events.
 NORMAL = 1
+
+#: Queue entries are ``(time, key, event)`` 3-tuples where ``key`` packs
+#: the priority band above the insertion counter: ``(priority << 56) +
+#: eid``.  A single int comparison then reproduces the (priority, eid)
+#: lexicographic order, and the smaller tuples are cheaper to build and
+#: compare in the heap — the kernel's hottest data structure.  Counters
+#: stay far below 2**56 (a large run emits ~10**5 events).
+PRIORITY_SHIFT = 56
+#: Precomputed key base for NORMAL, the band of nearly every event.
+NORMAL_KEY = NORMAL << PRIORITY_SHIFT
 
 
 class SimulationError(Exception):
@@ -96,7 +107,11 @@ class Event:
         self._ok = True
         self._value = value
         self._triggered = True
-        self.env.schedule(self, priority=NORMAL)
+        # Inlined env.schedule(self, priority=NORMAL): succeed() fires for
+        # nearly every event in a run, so skip the extra call.
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env.now, NORMAL_KEY + env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -145,15 +160,64 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Timeouts are born triggered, so initialize every field directly
+        # instead of chaining through Event.__init__ and overwriting half
+        # of them — this constructor is the kernel's hottest allocation.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._triggered = True
-        env.schedule(self, priority=NORMAL, delay=delay)
+        self._processed = False
+        self.delay = delay
+        # Inlined env.schedule(self, priority=NORMAL, delay=delay).
+        env._eid += 1
+        heappush(env._queue, (env.now + delay, NORMAL_KEY + env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {hex(id(self))}>"
+
+
+def join_all(env: "Environment", events: Iterable[Event]) -> Event:
+    """Event that fires once every child has fired (lightweight ``AllOf``).
+
+    The hot fan-in points of the stack — remote block reads, shuffle
+    fetches, write replication — join events purely for synchronization
+    and never look at the result value.  The generic :class:`Condition`
+    machinery allocates a :class:`ConditionValue` and runs bookkeeping
+    per child that such callers pay for without using; this helper keeps
+    only the countdown.  Failure semantics match ``AllOf``: the first
+    failed child fails the join immediately.  The join's value is
+    ``None``, so use :class:`AllOf` when child values matter.
+    """
+    done = Event(env)
+    state = [0]
+
+    def arm(event: Event) -> None:
+        if done._triggered:
+            return
+        if not event._ok:
+            done.fail(event._value)
+            return
+        state[0] -= 1
+        if state[0] == 0:
+            done.succeed(None)
+
+    pending = 0
+    for event in events:
+        if event.callbacks is None:
+            # Already processed: count it down up front (mirrors the
+            # immediate _check AllOf performs for processed children).
+            if not event._ok:
+                done.fail(event._value)
+                return done
+        else:
+            event.callbacks.append(arm)
+            pending += 1
+    state[0] = pending
+    if pending == 0:
+        done.succeed(None)
+    return done
 
 
 class ConditionValue:

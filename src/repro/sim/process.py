@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator
 
-from .events import NORMAL, URGENT, Event, Interrupt, SimulationError
+from .events import NORMAL, NORMAL_KEY, URGENT, Event, Interrupt, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Environment
@@ -16,13 +17,19 @@ class Initialize(Event):
     __slots__ = ("process",)
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.process = process
-        self._ok = True
+        # Born triggered; initialize fields directly and push onto the
+        # queue without the env.schedule indirection (one Initialize per
+        # process makes this a hot allocation).
+        self.env = env
+        self.callbacks = [process._resume]
         self._value = None
+        self._ok = True
         self._triggered = True
-        self.callbacks.append(process._resume)
-        env.schedule(self, priority=URGENT)
+        self._processed = False
+        self.process = process
+        env._eid += 1
+        # URGENT == 0, so the packed key is just the insertion counter.
+        heappush(env._queue, (env.now, env._eid, self))
 
 
 class Interruption(Event):
@@ -100,21 +107,23 @@ class Process(Event):
         """Advance the generator with the value (or exception) of ``event``."""
         env = self.env
         env._active_process = self
+        generator = self._generator
 
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # Mark the failure as handed off so unhandled event
                     # failures can still be detected elsewhere.
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
                 # Process finished successfully.
                 self._ok = True
                 self._value = stop.value
                 self._triggered = True
-                env.schedule(self, priority=NORMAL)
+                env._eid += 1
+                heappush(env._queue, (env.now, NORMAL_KEY + env._eid, self))
                 break
             except BaseException as error:
                 # Process died with an exception: fail the process event so
@@ -122,19 +131,22 @@ class Process(Event):
                 self._ok = False
                 self._value = error
                 self._triggered = True
-                env.schedule(self, priority=NORMAL)
+                env._eid += 1
+                heappush(env._queue, (env.now, NORMAL_KEY + env._eid, self))
                 break
 
-            if next_event is None:
-                # "yield None" => yield control for one scheduling round.
-                event = Event(env).succeed()
-                if not event._processed:
+            # Hot path: the yielded object is almost always an Event, so
+            # read .callbacks directly and let the AttributeError cover
+            # both ``yield None`` and non-event mistakes.
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
+                if next_event is None:
+                    # "yield None" => yield control for one scheduling round.
+                    event = Event(env).succeed()
                     event.callbacks.append(self._resume)
                     self._target = event
                     break
-                continue
-
-            if not isinstance(next_event, Event):
                 error = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
@@ -147,9 +159,9 @@ class Process(Event):
                     env.schedule(self, priority=NORMAL)
                 break
 
-            if next_event.callbacks is not None:
+            if callbacks is not None:
                 # Event not yet processed: subscribe and suspend.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = next_event
                 break
 

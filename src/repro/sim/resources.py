@@ -128,6 +128,20 @@ class Store:
         """Queue ``item``; yield the event to wait for space if bounded."""
         return StorePut(self, item)
 
+    def put_nowait(self, item: Any) -> None:
+        """Insert ``item`` without allocating a put event.
+
+        For callers that do not wait on the put: on an unbounded store a
+        ``StorePut`` always succeeds instantly, so the event would only
+        burn a kernel cycle.  Waiting getters are served exactly as a
+        ``put`` would serve them.  Raises ``RuntimeError`` if the store
+        is full (use ``put`` to wait for space instead).
+        """
+        if len(self.items) >= self.capacity:
+            raise RuntimeError("store is full; use put() to wait for space")
+        self._insert(item)
+        self._serve_getters()
+
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         """Take the next (matching) item; yield the event to wait for one."""
         return StoreGet(self, filter)

@@ -16,7 +16,7 @@ III-B1).  This module models that cache per server:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional, Set
+from typing import Callable, Dict, Hashable, Optional, Set
 
 from ..sim.engine import Environment
 from .device import MB, TransferDevice
@@ -69,6 +69,11 @@ class BufferCache:
         self._pinned_bytes = 0.0
         self._dirty_bytes = 0.0
         self._flusher_running = False
+
+        #: Residency-delta hook: called with ``(key, resident)`` whenever a
+        #: key becomes resident or stops being resident (including LRU
+        #: evictions and flush_all).  Feeds the memory-locality index.
+        self.on_residency_change: Optional[Callable[[Hashable, bool], None]] = None
 
         # Counters for tests/metrics.
         self.hits = 0
@@ -139,6 +144,9 @@ class BufferCache:
         self._used += nbytes
         if pinned:
             self._pinned_bytes += nbytes
+        callback = self.on_residency_change
+        if callback is not None:
+            callback(key, True)
         return True
 
     def pin(self, key: Hashable) -> bool:
@@ -174,6 +182,9 @@ class BufferCache:
             self._used = 0.0
             self._pinned_bytes = 0.0
         self.evictions += 1
+        callback = self.on_residency_change
+        if callback is not None:
+            callback(key, False)
         return True
 
     def flush_all(self) -> None:

@@ -21,10 +21,10 @@ rescheduled.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, List, Optional
 
 from ..sim.engine import Environment
-from ..sim.events import Event
+from ..sim.events import Event, Timeout
 
 #: Tolerance (in bytes) below which a transfer counts as finished.
 #: Sub-byte remainders are float noise, never real data.
@@ -226,14 +226,14 @@ class TransferDevice:
         """Bytes/second of the slowest active stream (0 when idle)."""
         if not self._active:
             return 0.0
-        rates = self._allocation()
-        return min(rates.values())
+        granted = self._recompute_rates()
+        return min(record.rate for record in granted)
 
     def aggregate_rate(self) -> float:
         """Total bytes/second across all active streams right now."""
         if not self._active:
             return 0.0
-        return sum(self._allocation().values())
+        return sum(record.rate for record in self._recompute_rates())
 
     def estimate_time(self, nbytes: float, extra_streams: int = 0) -> float:
         """Rough time to move ``nbytes`` at the current concurrency level.
@@ -257,25 +257,68 @@ class TransferDevice:
             return
         self._reschedule()
 
-    def _allocation(self) -> Dict[Transfer, float]:
-        """Max-min fair rates for the current active set (water-filling)."""
-        streams = len(self._active)
+    def _recompute_rates(self) -> List[Transfer]:
+        """Set max-min fair rates on the active set (water-filling).
+
+        Writes each record's ``rate`` in place and returns the records in
+        grant order.  Grants ascend by cap so slack from tightly-capped
+        streams flows to the unconstrained ones.  When no stream is capped
+        the sort is skipped: a stable sort on all-equal keys is the
+        original order, so the arithmetic sequence is unchanged.
+        """
+        active = self._active
+        streams = len(active)
         budget = self.bandwidth * self.penalty(streams)
-        rates: Dict[Transfer, float] = {}
-        # Grant ascending by cap so slack from tightly-capped streams
-        # flows to the unconstrained ones.
-        pending = sorted(
-            self._active,
-            key=lambda t: t.rate_cap if t.rate_cap is not None else float("inf"),
-        )
+        if streams == 1:
+            # Lone stream: the whole budget, clipped by its cap.  Matches
+            # the general path bit for bit (``budget / 1`` is exact).
+            record = active[0]
+            cap = record.rate_cap
+            record.rate = budget if cap is None else min(cap, budget)
+            return active
+        # Classify the cap layout in one pass; the full sort is needed
+        # only for >=2 capped streams out of grant order.  Every fast
+        # path reproduces the stable-sort order exactly: an ascending
+        # key sequence is already sorted, and with one capped stream the
+        # sorted order is that stream first, the rest in list order.
+        inf = float("inf")
+        capped_count = 0
+        first_capped = None
+        ascending = True
+        prev_key = -1.0
+        for record in active:
+            cap = record.rate_cap
+            if cap is None:
+                key = inf
+            else:
+                key = cap
+                capped_count += 1
+                if first_capped is None:
+                    first_capped = record
+            if key < prev_key:
+                ascending = False
+            prev_key = key
+        if ascending or capped_count == 0:
+            pending = active
+        elif capped_count == 1:
+            pending = [first_capped]
+            for record in active:
+                if record is not first_capped:
+                    pending.append(record)
+        else:
+            pending = sorted(
+                active,
+                key=lambda t: t.rate_cap if t.rate_cap is not None else inf,
+            )
         count = streams
         for record in pending:
             fair = budget / count
-            rate = fair if record.rate_cap is None else min(record.rate_cap, fair)
-            rates[record] = rate
+            cap = record.rate_cap
+            rate = fair if cap is None else min(cap, fair)
+            record.rate = rate
             budget -= rate
             count -= 1
-        return rates
+        return pending
 
     def _settle(self) -> None:
         """Account progress for all active transfers up to ``env.now``
@@ -297,17 +340,24 @@ class TransferDevice:
         """Fix rates for the active set and schedule the next completion."""
         self._epoch += 1
         self._expected_finisher = None
-        if not self._active:
+        active = self._active
+        if not active:
             return
         epoch = self._epoch
-        rates = self._allocation()
-        for record, rate in rates.items():
-            record.rate = rate
-        projected = min(
-            self._active,
-            key=lambda r: r.remaining / r.rate if r.rate > 0 else float("inf"),
-        )
-        if projected.rate <= 0:
+        self._recompute_rates()
+        # First transfer with the smallest projected finish time (manual
+        # min: avoids a lambda call per stream; strict ``<`` keeps the
+        # same first-wins tie-breaking as min() with a key).
+        projected: Optional[Transfer] = None
+        best = float("inf")
+        for record in active:
+            rate = record.rate
+            if rate > 0:
+                finish = record.remaining / rate
+                if finish < best:
+                    best = finish
+                    projected = record
+        if projected is None:
             return  # everything is stalled (all caps zero — impossible)
         # Remember who this wakeup is for: if the epoch still matches when
         # it fires, the active set (and hence the rates) never changed, so
@@ -315,11 +365,13 @@ class TransferDevice:
         # round-off leaves a sub-epsilon residue that a same-instant
         # timeout could never burn down.
         self._expected_finisher = projected
-        dt = max(0.0, projected.remaining / projected.rate)
-        wakeup = self.env.timeout(dt)
-        wakeup.callbacks.append(lambda _event: self._wakeup(epoch))
+        # The epoch rides as the timeout's value so one bound method
+        # serves every wakeup (no per-reschedule closure allocation).
+        wakeup = Timeout(self.env, max(0.0, best), value=epoch)
+        wakeup.callbacks.append(self._wakeup)
 
-    def _wakeup(self, epoch: int) -> None:
+    def _wakeup(self, event: Event) -> None:
+        epoch = event._value
         if epoch != self._epoch:
             return  # superseded by a newer reschedule
         self._settle()

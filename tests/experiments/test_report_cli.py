@@ -80,3 +80,13 @@ class TestCli:
     def test_parser_requires_a_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_profile_command_prints_hot_functions(self, capsys):
+        from repro.experiments.swim_runs import clear_cache
+
+        code = main(["profile", "--num-jobs", "5", "--top", "5"])
+        clear_cache()  # drop the 5-job entry so other tests never see it
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "function calls" in out
+        assert "tottime" in out
