@@ -6,6 +6,7 @@ Usage::
     python -m repro run table1 fig6 --out results/ --seed 0
     python -m repro all --out results/
     python -m repro profile --mode ignem --num-jobs 200 --top 30
+    python -m repro chaos --seeds 10
 """
 
 from __future__ import annotations
@@ -60,6 +61,33 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("tottime", "cumtime", "ncalls"),
         help="stat to sort by",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep seeded fault schedules and check invariants",
+        description=(
+            "Run the SWIM workload under N seeded fault schedules (node "
+            "crashes, master failovers, slow disks, message loss) and "
+            "verify the paper's invariants after each run.  Exits 1 if "
+            "any seed violates an invariant."
+        ),
+    )
+    chaos.add_argument("--seeds", type=int, default=10, help="number of seeds")
+    chaos.add_argument("--base-seed", type=int, default=0)
+    chaos.add_argument(
+        "--num-jobs", type=int, default=40, help="SWIM jobs per seed"
+    )
+    chaos.add_argument(
+        "--no-ha",
+        action="store_true",
+        help="run a single Ignem master instead of the HA pair",
+    )
+    chaos.add_argument(
+        "--max-node-crashes",
+        type=int,
+        default=2,
+        help="distinct nodes each schedule may crash",
+    )
     return parser
 
 
@@ -83,6 +111,19 @@ def run_profile(args) -> int:
     return 0
 
 
+def run_chaos(args) -> int:
+    from .faults import ChaosRunner
+
+    runner = ChaosRunner(
+        num_jobs=args.num_jobs,
+        ha=not args.no_ha,
+        max_node_crashes=args.max_node_crashes,
+    )
+    report = runner.sweep(seeds=args.seeds, base_seed=args.base_seed)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -91,6 +132,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "profile":
         return run_profile(args)
+    if args.command == "chaos":
+        return run_chaos(args)
 
     names = None if args.command == "all" else args.experiments
     try:

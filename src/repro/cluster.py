@@ -181,16 +181,35 @@ class Cluster:
         return self.replication_monitor
 
     def fail_node(self, name: str) -> None:
-        """Kill a whole server: DataNode, Ignem slave, and NodeManager.
-        Triggers re-replication when the monitor is enabled."""
+        """Kill a whole server: DataNode, Ignem slave, NodeManager, and
+        NIC.  In-flight transfers through the node fail deterministically,
+        the buffer-cache flush publishes residency deltas (no stale
+        memory-locality index entries), the Ignem master drops its routing
+        state for the node, and re-replication is triggered when the
+        monitor is enabled."""
         if name in self.ignem_slaves:
             self.ignem_slaves[name].fail()
         self.datanodes[name].fail()
+        self.network.fail_node(name)
+        if self.ignem_master is not None:
+            self.ignem_master.handle_slave_failure(name)
         for node_manager in self.rm.nodes():
             if node_manager.name == name:
                 node_manager.fail()
         if self.replication_monitor is not None:
             self.replication_monitor.handle_node_failure(name)
+
+    def restart_node(self, name: str) -> None:
+        """Bring a failed server back: the DataNode, slave, and
+        NodeManager processes restart with empty in-memory state; disk
+        blocks survive (paper III-A5)."""
+        self.datanodes[name].restart()
+        self.network.restore_node(name)
+        if name in self.ignem_slaves:
+            self.ignem_slaves[name].restart()
+        for node_manager in self.rm.nodes():
+            if node_manager.name == name:
+                node_manager.restart()
 
     def pin_all_inputs(self, paths: Optional[Sequence[str]] = None) -> None:
         """The vmtouch baseline: lock every (or the given) input file's

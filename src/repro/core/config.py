@@ -50,6 +50,14 @@ class IgnemConfig:
       only ~25-45MB/s per slave (2GB fully migrated in a ~10s lead across
       8 servers); setting a cap reproduces that variant — the Fig 8
       harness runs both.
+    * ``command_timeout`` / ``command_max_retries`` / ``command_backoff``
+      / ``command_backoff_factor`` — robustness of the master→slave
+      command channel: an unacknowledged command (slave down, message
+      lost) is retried after ``command_timeout`` plus an exponential
+      backoff (``command_backoff * command_backoff_factor**attempt``),
+      at most ``command_max_retries`` times, before the master falls
+      back to re-routing the block's migration to another live replica
+      holder (graceful degradation, III-A5).
     """
 
     buffer_capacity: float = 16 * GB
@@ -63,6 +71,10 @@ class IgnemConfig:
     migration_read_rate: Optional[float] = None
     busy_threshold: Optional[int] = None
     busy_poll_interval: float = 0.5
+    command_timeout: float = 0.5
+    command_max_retries: int = 3
+    command_backoff: float = 0.25
+    command_backoff_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if self.buffer_capacity <= 0:
@@ -83,3 +95,11 @@ class IgnemConfig:
             raise ValueError("busy_poll_interval must be positive")
         if self.migration_read_rate is not None and self.migration_read_rate <= 0:
             raise ValueError("migration_read_rate must be positive or None")
+        if self.command_timeout <= 0:
+            raise ValueError("command_timeout must be positive")
+        if self.command_max_retries < 0:
+            raise ValueError("command_max_retries must be >= 0")
+        if self.command_backoff < 0:
+            raise ValueError("command_backoff must be non-negative")
+        if self.command_backoff_factor < 1:
+            raise ValueError("command_backoff_factor must be >= 1")

@@ -87,6 +87,35 @@ class HighAvailabilityMaster:
     def request_eviction(self, paths: Sequence[str], job_id: str) -> None:
         self.active.request_eviction(paths, job_id)
 
+    # -- fault-injection plumbing ---------------------------------------------------
+
+    @property
+    def rpc_fault(self):
+        """Per-send fault hook, mirrored onto both masters."""
+        return self.primary.rpc_fault
+
+    @rpc_fault.setter
+    def rpc_fault(self, hook) -> None:
+        self.primary.rpc_fault = hook
+        self.standby.rpc_fault = hook
+
+    @property
+    def command_retries(self) -> int:
+        return self.primary.command_retries + self.standby.command_retries
+
+    @property
+    def commands_rerouted(self) -> int:
+        return self.primary.commands_rerouted + self.standby.commands_rerouted
+
+    @property
+    def commands_abandoned(self) -> int:
+        return self.primary.commands_abandoned + self.standby.commands_abandoned
+
+    def handle_slave_failure(self, node: str) -> None:
+        """Prune the crashed slave's routing state from both masters."""
+        self.primary.handle_slave_failure(node)
+        self.standby.handle_slave_failure(node)
+
     # -- failure handling ----------------------------------------------------------
 
     def fail_primary(self) -> None:

@@ -9,7 +9,7 @@ per-slave command lists, and ships them over (simulated) RPC.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..dfs.namenode import NameNode
 from ..metrics.collector import MetricsCollector
@@ -44,6 +44,14 @@ class IgnemMaster:
         self._assignments: Dict[Tuple[str, str], Tuple[str, ...]] = {}
         self.migration_requests = 0
         self.eviction_requests = 0
+        #: Fault hook (set by the fault injector): called with the target
+        #: node per delivery attempt; returning ``"lost"`` drops that
+        #: attempt.  ``None`` is the zero-overhead clean path.
+        self.rpc_fault: Optional[Callable[[str], Optional[str]]] = None
+        self.commands_sent = 0
+        self.command_retries = 0
+        self.commands_rerouted = 0
+        self.commands_abandoned = 0
 
     # -- topology -----------------------------------------------------------------
 
@@ -117,10 +125,7 @@ class IgnemMaster:
                 order_hint += 1
 
         for node, items in batches.items():
-            self._send(
-                self._slaves[node].receive_migrate,
-                MigrateCommand(job_id, tuple(items)),
-            )
+            self._send(node, "migrate", MigrateCommand(job_id, tuple(items)))
 
     def request_eviction(self, paths: Sequence[str], job_id: str) -> None:
         """Handle a job submitter's evict call (job completed)."""
@@ -137,10 +142,7 @@ class IgnemMaster:
                     if node in self._slaves:
                         batches.setdefault(node, []).append(block.block_id)
         for node, block_ids in batches.items():
-            self._send(
-                self._slaves[node].receive_evict,
-                EvictCommand(job_id, tuple(block_ids)),
-            )
+            self._send(node, "evict", EvictCommand(job_id, tuple(block_ids)))
 
     # -- failure handling -----------------------------------------------------------
 
@@ -156,17 +158,125 @@ class IgnemMaster:
         for slave in self._slaves.values():
             slave.purge_all(reason="failure")
 
+    def handle_slave_failure(self, node: str) -> None:
+        """Forget routing state for a crashed slave: its queue and
+        reference lists died with the process, so eviction commands must
+        not target it and a duplicate migrate call may pick a fresh
+        replica (crash-safe migration-queue abandonment)."""
+        stale = [
+            (key, nodes)
+            for key, nodes in self._assignments.items()
+            if node in nodes
+        ]
+        for key, nodes in stale:
+            remaining = tuple(n for n in nodes if n != node)
+            if remaining:
+                self._assignments[key] = remaining
+            else:
+                del self._assignments[key]
+
     # -- RPC ---------------------------------------------------------------------------
 
-    def _send(self, deliver, command) -> None:
-        """Ship one batched command with the configured RPC latency."""
-        latency = self.config.rpc_latency
-        if latency <= 0:
-            deliver(command)
+    def _send(
+        self,
+        node: str,
+        kind: str,
+        command,
+        tried: FrozenSet[str] = frozenset(),
+    ) -> None:
+        """Ship one batched command with the configured RPC latency.
+
+        Delivery is acknowledged: an unacked command (slave down or
+        message lost) is retried with timeout + exponential backoff, and
+        after ``command_max_retries`` the failure handler re-routes or
+        abandons the work.  ``tried`` carries the nodes already attempted
+        for this work so a re-route never bounces between dead slaves.
+        """
+        self.commands_sent += 1
+        if self.config.rpc_latency <= 0 and self.rpc_fault is None:
+            if not self._deliver(node, kind, command):
+                self._command_failed(node, kind, command, tried)
             return
+        self.env.process(self._rpc(node, kind, command, tried), name="ignem-rpc")
 
-        def rpc():
-            yield self.env.timeout(latency)
-            deliver(command)
+    def _deliver(self, node: str, kind: str, command) -> bool:
+        slave = self._slaves[node]
+        if kind == "migrate":
+            return slave.receive_migrate(command)
+        return slave.receive_evict(command)
 
-        self.env.process(rpc(), name="ignem-rpc")
+    def _rpc(self, node: str, kind: str, command, tried: FrozenSet[str]):
+        cfg = self.config
+        latency = cfg.rpc_latency
+        for attempt in range(cfg.command_max_retries + 1):
+            lost = self.rpc_fault is not None and self.rpc_fault(node) == "lost"
+            if latency > 0:
+                yield self.env.timeout(latency)
+            if not lost and self._deliver(node, kind, command):
+                return
+            if attempt >= cfg.command_max_retries:
+                break
+            self.command_retries += 1
+            yield self.env.timeout(
+                cfg.command_timeout
+                + cfg.command_backoff * cfg.command_backoff_factor ** attempt
+            )
+        self._command_failed(node, kind, command, tried)
+
+    def _command_failed(
+        self, node: str, kind: str, command, tried: FrozenSet[str]
+    ) -> None:
+        """All retries exhausted: the slave is down or unreachable."""
+        if not self.alive:
+            return
+        tried = tried | {node}
+        if kind == "evict":
+            # The dead slave's restart purges its references anyway
+            # (III-A5), so the eviction is moot — just drop it.
+            self.commands_abandoned += 1
+            return
+        self._reroute_migration(node, command, tried)
+
+    def _reroute_migration(
+        self, failed_node: str, command, tried: FrozenSet[str]
+    ) -> None:
+        """Graceful degradation (III-A5): re-route each block's migration
+        to another live replica holder; blocks with no live untried
+        replica are abandoned and their routing state dropped."""
+        namenode = self.namenode
+        slaves = self._slaves
+        batches: Dict[str, List[MigrationWorkItem]] = {}
+        for item in command.items:
+            key = (command.job_id, item.block_id)
+            kept = tuple(
+                n for n in self._assignments.get(key, ()) if n != failed_node
+            )
+            usable = [
+                n
+                for n in namenode.get_block_locations(item.block_id)
+                if n in slaves and n not in tried and slaves[n].alive
+            ]
+            if not usable:
+                # Crash-safe abandonment: forget the routing entry rather
+                # than leak it (the job will read from disk instead).
+                if kept:
+                    self._assignments[key] = kept
+                else:
+                    self._assignments.pop(key, None)
+                self.commands_abandoned += 1
+                continue
+            chosen = self.rng.choice(sorted(usable))
+            if chosen in kept:
+                # Another replica of this block is already migrating.
+                self._assignments[key] = kept
+                continue
+            self._assignments[key] = kept + (chosen,)
+            batches.setdefault(chosen, []).append(item)
+        for new_node, items in batches.items():
+            self.commands_rerouted += 1
+            self._send(
+                new_node,
+                "migrate",
+                MigrateCommand(command.job_id, tuple(items)),
+                tried=tried,
+            )

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..dfs.blocks import Block
-from ..dfs.datanode import DataNode
+from ..dfs.datanode import DataNode, DataNodeError
 from ..metrics.collector import MetricsCollector
 from ..metrics.records import EvictionRecord, MemorySample, MigrationRecord
 from ..scheduler.resource_manager import ResourceManager
@@ -67,23 +67,30 @@ class IgnemSlave:
 
     # -- command intake (from the master) --------------------------------------
 
-    def receive_migrate(self, command: MigrateCommand) -> None:
-        """Queue a batch of migration work for one job."""
+    def receive_migrate(self, command: MigrateCommand) -> bool:
+        """Queue a batch of migration work for one job.
+
+        Returns the RPC acknowledgement: ``False`` when the slave is down
+        (the command was lost), which drives the master's retry path.
+        """
         if not self.alive:
-            return
+            return False
         for item in command.items:
             refs = self._refs.setdefault(item.block_id, set())
             refs.add(item.job_id)
             if item.implicit_eviction:
                 self._implicit_jobs.add(item.job_id)
             self.queue.put_nowait(PriorityItem(self.policy.priority(item), item))
+        return True
 
-    def receive_evict(self, command: EvictCommand) -> None:
-        """Drop a completed job's references (explicit eviction)."""
+    def receive_evict(self, command: EvictCommand) -> bool:
+        """Drop a completed job's references (explicit eviction).
+        Returns the RPC acknowledgement, as :meth:`receive_migrate`."""
         if not self.alive:
-            return
+            return False
         for block_id in command.block_ids:
             self._remove_ref(block_id, command.job_id, reason="explicit")
+        return True
 
     # -- state queries --------------------------------------------------------------
 
@@ -96,6 +103,15 @@ class IgnemSlave:
     def reference_count(self) -> int:
         """Total job references across all blocks (leak detector)."""
         return sum(len(refs) for refs in self._refs.values())
+
+    def referenced_blocks(self) -> Dict[str, Set[str]]:
+        """Copy of the block -> referencing-jobs map (invariant checks)."""
+        return {block_id: set(refs) for block_id, refs in self._refs.items()}
+
+    def resident_bytes(self) -> float:
+        """Sum of the sizes of currently migrated blocks; must equal
+        :attr:`migrated_bytes` up to float noise (accounting invariant)."""
+        return sum(self._migrated.values())
 
     @property
     def pending_migrations(self) -> int:
@@ -187,9 +203,15 @@ class IgnemSlave:
         if not self.datanode.alive:
             self._record_migration(item, enqueued_at, outcome="cancelled")
             return
-        yield self.datanode.migrate_block_to_memory(
-            block, rate_cap=self.config.migration_read_rate
-        )
+        try:
+            yield self.datanode.migrate_block_to_memory(
+                block, rate_cap=self.config.migration_read_rate
+            )
+        except DataNodeError:
+            # The DataNode died mid-read: the partial pages are gone with
+            # the process; the worker survives to serve post-restart work.
+            self._record_migration(item, enqueued_at, outcome="cancelled")
+            return
 
         # Reads may have raced with the migration and emptied the list.
         if not self._refs.get(block_id):
@@ -251,13 +273,18 @@ class IgnemSlave:
         )
         self._signal_space()
 
-    def _maybe_cleanup_dead_jobs(self) -> None:
-        """Liveness sweep under memory pressure (paper III-A4)."""
+    def cleanup_dead_jobs(self, force: bool = False) -> None:
+        """Liveness sweep (paper III-A4): drop references held by jobs the
+        scheduler no longer knows.  Normally gated on memory pressure
+        (``cleanup_threshold``); ``force=True`` sweeps unconditionally —
+        the post-run invariant checker uses it to settle leaked state.
+        """
         if self.rm is None:
             return
-        occupancy = self.migrated_bytes / self.config.buffer_capacity
-        if occupancy < self.config.cleanup_threshold:
-            return
+        if not force:
+            occupancy = self.migrated_bytes / self.config.buffer_capacity
+            if occupancy < self.config.cleanup_threshold:
+                return
         dead_jobs = {
             job_id
             for refs in self._refs.values()
@@ -269,6 +296,9 @@ class IgnemSlave:
                 bid for bid, refs in self._refs.items() if job_id in refs
             ]:
                 self._remove_ref(block_id, job_id, reason="cleanup")
+
+    def _maybe_cleanup_dead_jobs(self) -> None:
+        self.cleanup_dead_jobs(force=False)
 
     def _evict_victim(self, incoming: MigrationWorkItem) -> bool:
         """Ablation path (do_not_harm=False): evict the migrated block of

@@ -156,7 +156,13 @@ class DataNode:
 
         if self.on_block_read is not None:
             hook = self.on_block_read
-            done.callbacks.append(lambda _event: hook(block, job_id))
+            # Guarded on success *and* liveness: a read aborted by node
+            # failure must not drive implicit eviction on the dead slave.
+            done.callbacks.append(
+                lambda event: hook(block, job_id)
+                if event._ok and self.alive
+                else None
+            )
         return ReadHandle(done=done, source=source, node=self.name)
 
     def absorb_write(self, block: Block) -> None:
@@ -205,8 +211,15 @@ class DataNode:
         done = self.disk.transfer(
             block.nbytes, tag=("migrate", block.block_id), rate_cap=rate_cap
         )
+        # Guarded pin-in: a migration read that was still in its device
+        # latency window when the node died can complete *after* the
+        # failure flushed the cache; inserting then would publish a
+        # residency delta for a dead node and leave a stale entry in the
+        # NameNode's memory-locality index.
         done.callbacks.append(
-            lambda _event: self.cache.insert(block.block_id, block.nbytes, pinned=True)
+            lambda event: self.cache.insert(block.block_id, block.nbytes, pinned=True)
+            if event._ok and self.alive
+            else None
         )
         return done
 
@@ -219,8 +232,16 @@ class DataNode:
 
     def fail(self) -> None:
         """Kill the DataNode process: all in-memory state is lost (the OS
-        reclaims the slave's mapped pages, paper III-A5)."""
+        reclaims the slave's mapped pages, paper III-A5).
+
+        Every in-flight disk/RAM transfer fails deterministically so no
+        reader or migration waits forever on a device that will never
+        drain; the cache flush publishes eviction deltas, keeping the
+        NameNode's memory-locality index consistent.
+        """
         self.alive = False
+        self.disk.fail_all(DataNodeError(f"DataNode {self.name} died mid-transfer"))
+        self.ram.fail_all(DataNodeError(f"DataNode {self.name} died mid-transfer"))
         self.cache.flush_all()
 
     def restart(self) -> None:

@@ -155,6 +155,10 @@ class NameNode:
     def list_files(self) -> List[str]:
         return sorted(self._namespace.keys())
 
+    def is_block(self, block_id: str) -> bool:
+        """Whether ``block_id`` names a block of any current file."""
+        return block_id in self._locations
+
     def get_block_locations(self, block_id: str) -> List[str]:
         """Live replica locations for a block (dead nodes filtered out)."""
         nodes = self._locations.get(block_id)

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
-from ..net.network import Network
+from ..net.network import Network, NetworkError
 from ..sim.engine import Environment
 from ..sim.rand import RandomSource
 from .blocks import Block
+from .datanode import DataNodeError
 from .namenode import NameNode
 
 
@@ -138,5 +139,9 @@ class ReplicationMonitor:
             if locations is not None and target not in locations:
                 locations.append(target)
             self.copies_completed += 1
+        except (DataNodeError, NetworkError):
+            # An endpoint died mid-copy; the next failure notification
+            # re-examines the block's replication level.
+            self.copies_failed += 1
         finally:
             self._active_by_source[source] -= 1

@@ -45,24 +45,27 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
-def run_swim(
+def prepare_swim_cluster(
     mode: str,
     seed: int = 0,
     num_jobs: int = 200,
     policy: str = "smallest-job-first",
     ignem_config: Optional[IgnemConfig] = None,
-) -> SwimRun:
-    """Run the SWIM workload under one configuration (cached)."""
+    ha: bool = False,
+) -> Tuple[Cluster, List[swim.SwimJob], List[JobSpec], List[float]]:
+    """Build the SWIM testbed without running it.
+
+    Returns ``(cluster, trace jobs, job specs, arrival times)`` — the
+    exact pre-run state :func:`run_swim` uses, also reusable by harnesses
+    that drive the run differently (the chaos runner injects faults and
+    runs to full drain instead of to the workload-done event).
+    """
     if mode not in ("hdfs", "ignem", "ram"):
         raise ValueError(f"unknown mode {mode!r}")
-    key = (mode, seed, num_jobs, policy, ignem_config)
-    if key in _CACHE:
-        return _CACHE[key]
-
     cluster = build_paper_testbed(seed=seed, engine_config=SWIM_ENGINE)
     if mode == "ignem":
         config = ignem_config or IgnemConfig(buffer_capacity=16 * GB, policy=policy)
-        cluster.enable_ignem(config)
+        cluster.enable_ignem(config, ha=ha)
 
     generator = swim.SwimGenerator(seed=seed)
     jobs = generator.generate(num_jobs=num_jobs)
@@ -75,6 +78,24 @@ def run_swim(
         _with_cpu_factors(spec, SWIM_MAP_CPU_FACTOR, SWIM_REDUCE_CPU_FACTOR)
         for spec in specs
     ]
+    return cluster, jobs, specs, arrivals
+
+
+def run_swim(
+    mode: str,
+    seed: int = 0,
+    num_jobs: int = 200,
+    policy: str = "smallest-job-first",
+    ignem_config: Optional[IgnemConfig] = None,
+) -> SwimRun:
+    """Run the SWIM workload under one configuration (cached)."""
+    key = (mode, seed, num_jobs, policy, ignem_config)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    cluster, jobs, specs, arrivals = prepare_swim_cluster(
+        mode, seed=seed, num_jobs=num_jobs, policy=policy, ignem_config=ignem_config
+    )
     done = cluster.engine.run_workload(specs, arrivals, implicit_eviction=True)
     cluster.run(until=done)
 

@@ -1,0 +1,18 @@
+"""Deterministic fault injection, chaos sweeps, and invariant checking."""
+
+from .chaos import ChaosReport, ChaosRunner, ChaosRunResult
+from .injector import FaultInjector
+from .invariants import InvariantChecker, data_loss_violations
+from .schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosReport",
+    "ChaosRunner",
+    "ChaosRunResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "InvariantChecker",
+    "data_loss_violations",
+]

@@ -1,0 +1,153 @@
+"""Chaos sweeps: many seeded fault schedules against the SWIM workload.
+
+A :class:`ChaosRunner` runs the paper's SWIM workload N times, each time
+with a different seed driving both the workload and a random
+:class:`~repro.faults.schedule.FaultSchedule`.  Every run drains the
+simulation fully, forces a final liveness sweep, and then asserts the
+paper's invariants with the :class:`~repro.faults.invariants.InvariantChecker`.
+The sweep report aggregates per-seed outcomes; zero violations across
+all seeds is the pass criterion wired into CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..experiments.swim_runs import prepare_swim_cluster
+from .injector import FaultInjector
+from .invariants import InvariantChecker
+from .schedule import FaultSchedule
+
+#: Extra simulated time past the last job arrival that the fault window
+#: may cover; crashes too close to drain would fault an idle cluster.
+_HORIZON_SLACK = 120.0
+
+
+@dataclass
+class ChaosRunResult:
+    """Outcome of one seeded chaos run."""
+
+    seed: int
+    faults_applied: int
+    crashes: int
+    jobs_total: int
+    jobs_completed: int
+    jobs_failed: int
+    command_retries: int
+    commands_rerouted: int
+    commands_abandoned: int
+    failovers: int
+    sim_time: float
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate of a full sweep."""
+
+    results: List[ChaosRunResult]
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(result.violations) for result in self.results)
+
+    @property
+    def ok(self) -> bool:
+        return self.total_violations == 0
+
+    def format(self) -> str:
+        lines = [
+            "seed  faults  crashes  jobs ok/fail  retries  reroutes  "
+            "abandoned  failovers  violations"
+        ]
+        for r in self.results:
+            lines.append(
+                f"{r.seed:>4}  {r.faults_applied:>6}  {r.crashes:>7}  "
+                f"{r.jobs_completed:>7}/{r.jobs_failed:<4}  "
+                f"{r.command_retries:>7}  {r.commands_rerouted:>8}  "
+                f"{r.commands_abandoned:>9}  {r.failovers:>9}  "
+                f"{len(r.violations):>10}"
+            )
+        for r in self.results:
+            for violation in r.violations:
+                lines.append(f"seed {r.seed}: VIOLATION: {violation}")
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"{verdict}: {len(self.results)} seed(s), "
+            f"{self.total_violations} invariant violation(s)"
+        )
+        return "\n".join(lines)
+
+
+class ChaosRunner:
+    """Sweeps seeded fault schedules over the SWIM workload."""
+
+    def __init__(
+        self,
+        num_jobs: int = 40,
+        ha: bool = True,
+        max_node_crashes: int = 2,
+    ):
+        self.num_jobs = num_jobs
+        self.ha = ha
+        self.max_node_crashes = max_node_crashes
+
+    def run_seed(self, seed: int) -> ChaosRunResult:
+        """One full chaos run: workload + faults + drain + invariants."""
+        cluster, _, specs, arrivals = prepare_swim_cluster(
+            "ignem", seed=seed, num_jobs=self.num_jobs, ha=self.ha
+        )
+        cluster.enable_rereplication()
+
+        horizon = (max(arrivals) if arrivals else 0.0) + _HORIZON_SLACK
+        schedule = FaultSchedule.random(
+            seed,
+            cluster.node_names(),
+            horizon,
+            max_node_crashes=self.max_node_crashes,
+        )
+        injector = FaultInjector(cluster, schedule)
+        injector.start()
+
+        cluster.engine.run_workload(specs, arrivals, implicit_eviction=True)
+        # No `until`: drain the event queue completely so every retry,
+        # re-replication copy, and restart settles before we assert.
+        cluster.run()
+
+        # Final forced liveness sweep (III-A4): collect any references
+        # the periodic sweeps have not reclaimed yet.
+        for slave in cluster.ignem_slaves.values():
+            if slave.alive:
+                slave.cleanup_dead_jobs(force=True)
+
+        violations = InvariantChecker(cluster).check(injector)
+
+        jobs = cluster.engine.jobs
+        master = cluster.ignem_master
+        failovers = getattr(master, "_failovers", 0) if master is not None else 0
+        return ChaosRunResult(
+            seed=seed,
+            faults_applied=len(injector.applied),
+            crashes=len(schedule.crashed_nodes()),
+            jobs_total=len(jobs),
+            jobs_completed=sum(1 for job in jobs if job.finished_at is not None),
+            jobs_failed=sum(1 for job in jobs if job.failed),
+            command_retries=master.command_retries if master is not None else 0,
+            commands_rerouted=master.commands_rerouted if master is not None else 0,
+            commands_abandoned=(
+                master.commands_abandoned if master is not None else 0
+            ),
+            failovers=failovers,
+            sim_time=cluster.env.now,
+            violations=violations,
+        )
+
+    def sweep(self, seeds: int = 10, base_seed: int = 0) -> ChaosReport:
+        """Run ``seeds`` consecutive seeded chaos runs."""
+        results = [self.run_seed(base_seed + i) for i in range(seeds)]
+        return ChaosReport(results)

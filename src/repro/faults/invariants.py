@@ -1,0 +1,191 @@
+"""Post-run invariant checking: the paper's guarantees, asserted.
+
+After every run — faulty or clean — the :class:`InvariantChecker`
+verifies that the system's correctness properties survived:
+
+1. **Do-not-harm (III-A3).**  No slave's migrated-bytes ever exceeded its
+   buffer capacity, and with ``do_not_harm`` enabled no migrated block
+   was preempted to admit another.
+2. **No dangling references (III-A4).**  After job completion plus a
+   forced liveness sweep, every remaining reference-list entry belongs to
+   a job the scheduler still knows; a fully drained run holds zero.
+3. **No data loss while replication >= 2.**  A block of a file with
+   replication factor >= 2 must keep at least one live replica whenever
+   fewer nodes are simultaneously down than its replication factor
+   (checked at crash instants by the injector and again at end of run).
+4. **Byte/accounting conservation.**  Per node, completed-migration bytes
+   minus eviction bytes equals the slave's ``migrated_bytes``, which in
+   turn equals the byte-sum of its resident migrated blocks and the last
+   recorded memory sample.
+5. **Memory-locality index equivalence.**  The push-maintained NameNode
+   index equals a brute-force recomputation from the DataNode caches —
+   node failures must leave no stale entries.
+
+Violations are returned as human-readable strings; an empty list means
+the run upheld every guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster import Cluster
+    from ..dfs.namenode import NameNode
+    from .injector import FaultInjector
+
+#: Float-noise tolerance for byte accounting (fractional final blocks).
+_BYTE_TOLERANCE = 1.0
+
+
+def data_loss_violations(
+    namenode: "NameNode", down_nodes: Set[str], when: float
+) -> List[str]:
+    """Blocks that lost every live replica although their replication
+    factor should have tolerated the current number of down nodes."""
+    violations: List[str] = []
+    concurrent_down = len(down_nodes)
+    for path in namenode.list_files():
+        metadata = namenode.get_file(path)
+        if metadata.replication < 2 or concurrent_down >= metadata.replication:
+            # Replication 1 has no failure tolerance to guarantee, and
+            # losing as many nodes as there are replicas may legitimately
+            # take out all of them.
+            continue
+        for block in metadata.blocks:
+            if not namenode.get_block_locations(block.block_id):
+                violations.append(
+                    f"data loss: {block.block_id} ({path}) has zero live "
+                    f"replicas at t={when:.3f} with only {concurrent_down} "
+                    f"node(s) down and replication={metadata.replication}"
+                )
+    return violations
+
+
+class InvariantChecker:
+    """Checks the paper's guarantees against a finished cluster."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+
+    def check(self, injector: "FaultInjector" = None) -> List[str]:
+        """Run every invariant; returns all violations (empty = clean).
+
+        Pass the run's :class:`FaultInjector` to include the data-loss
+        violations it recorded at crash instants and to exempt nodes
+        still down at end of run from the end-state checks.
+        """
+        down: Set[str] = injector.down_nodes if injector is not None else set()
+        violations: List[str] = []
+        if injector is not None:
+            violations.extend(injector.violations)
+        violations.extend(self.check_do_not_harm())
+        violations.extend(self.check_reference_lists())
+        violations.extend(self.check_byte_accounting())
+        violations.extend(self.check_memory_index())
+        violations.extend(
+            data_loss_violations(
+                self.cluster.namenode, down, when=self.cluster.env.now
+            )
+        )
+        return violations
+
+    # -- individual invariants ----------------------------------------------------
+
+    def check_do_not_harm(self) -> List[str]:
+        violations: List[str] = []
+        for name, slave in sorted(self.cluster.ignem_slaves.items()):
+            capacity = slave.config.buffer_capacity
+            peak = max(usage for _, usage in slave.usage_timeline)
+            if peak > capacity + _BYTE_TOLERANCE:
+                violations.append(
+                    f"do-not-harm: {name} peaked at {peak:.0f} bytes, over "
+                    f"its {capacity:.0f}-byte buffer capacity"
+                )
+        if any(
+            slave.config.do_not_harm
+            for slave in self.cluster.ignem_slaves.values()
+        ):
+            preempted = [
+                record
+                for record in self.cluster.collector.evictions
+                if record.reason == "preempted"
+            ]
+            if preempted:
+                violations.append(
+                    f"do-not-harm: {len(preempted)} migrated block(s) were "
+                    "preempted although do_not_harm is enabled"
+                )
+        return violations
+
+    def check_reference_lists(self) -> List[str]:
+        """No reference held by a job the scheduler has forgotten.
+
+        Run after the final forced liveness sweep: anything the sweep
+        could not justify by a live job is a leak.
+        """
+        violations: List[str] = []
+        rm = self.cluster.rm
+        for name, slave in sorted(self.cluster.ignem_slaves.items()):
+            for block_id, jobs in sorted(slave.referenced_blocks().items()):
+                dead = sorted(job for job in jobs if not rm.job_active(job))
+                if dead:
+                    violations.append(
+                        f"dangling references: {name} still holds refs on "
+                        f"{block_id} for finished job(s) {', '.join(dead)}"
+                    )
+        return violations
+
+    def check_byte_accounting(self) -> List[str]:
+        violations: List[str] = []
+        migrated_by_node: Dict[str, float] = {}
+        for record in self.cluster.collector.migrations:
+            if record.outcome == "completed":
+                migrated_by_node[record.node] = (
+                    migrated_by_node.get(record.node, 0.0) + record.nbytes
+                )
+        evicted_by_node: Dict[str, float] = {}
+        for record in self.cluster.collector.evictions:
+            evicted_by_node[record.node] = (
+                evicted_by_node.get(record.node, 0.0) + record.nbytes
+            )
+        for name, slave in sorted(self.cluster.ignem_slaves.items()):
+            expected = migrated_by_node.get(name, 0.0) - evicted_by_node.get(
+                name, 0.0
+            )
+            if abs(expected - slave.migrated_bytes) > _BYTE_TOLERANCE:
+                violations.append(
+                    f"byte conservation: {name} accounts {slave.migrated_bytes:.0f} "
+                    f"bytes but metrics say {expected:.0f} "
+                    "(completed migrations minus evictions)"
+                )
+            resident = slave.resident_bytes()
+            if abs(resident - slave.migrated_bytes) > _BYTE_TOLERANCE:
+                violations.append(
+                    f"byte conservation: {name} counts {slave.migrated_bytes:.0f} "
+                    f"migrated bytes but its blocks sum to {resident:.0f}"
+                )
+        return violations
+
+    def check_memory_index(self) -> List[str]:
+        """Push-maintained index == brute-force recomputation."""
+        namenode = self.cluster.namenode
+        expected: Dict[str, Set[str]] = {}
+        for name, datanode in self.cluster.datanodes.items():
+            for key in datanode.cache.resident_keys():
+                if namenode.is_block(key):
+                    expected.setdefault(key, set()).add(name)
+        actual = {
+            block_id: set(nodes)
+            for block_id, nodes in namenode.locality_index.blocks().items()
+        }
+        violations: List[str] = []
+        for block_id in sorted(set(expected) | set(actual)):
+            want = expected.get(block_id, set())
+            have = actual.get(block_id, set())
+            if want != have:
+                violations.append(
+                    f"memory index: {block_id} indexed on {sorted(have)} "
+                    f"but actually resident on {sorted(want)}"
+                )
+        return violations

@@ -9,11 +9,17 @@ from ..dfs.blocks import Block
 from ..dfs.client import DFSClient
 from ..metrics.collector import MetricsCollector
 from ..metrics.records import BlockReadRecord, JobRecord, TaskRecord
+from ..net.network import NetworkError
 from ..scheduler.containers import TaskRequest
 from ..scheduler.resource_manager import ResourceManager
 from ..sim.engine import Environment
 from ..sim.events import Event, Timeout, join_all
 from .spec import EngineConfig, JobSpec
+
+#: Shuffle-fetch retry budget before declaring a map output lost.
+_SHUFFLE_RETRIES = 3
+#: Base backoff between shuffle-fetch retries (linear: 0.25s, 0.5s, ...).
+_SHUFFLE_BACKOFF = 0.25
 
 
 class MRJob:
@@ -58,6 +64,11 @@ class MRJob:
 
         self.job_id = f"job-{next(MRJob._ids):05d}"
         self.completed: Event = env.event()
+        #: Set when the scheduler abandoned one of the job's tasks after
+        #: exhausting retries (node churn).  The job still runs to
+        #: completion — with partial output, as a real cluster would
+        #: surface a failed job — instead of hanging the submitter.
+        self.failed = False
         self.submitted_at: Optional[float] = None
         self.first_task_start: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -73,6 +84,14 @@ class MRJob:
         self._map_durations: List[float] = []
         #: Number of speculative duplicate attempts launched.
         self.speculative_attempts = 0
+        #: Which node holds each committed map's shuffle output.
+        self._map_winner_node: Dict[int, str] = {}
+        #: One shared recovery event per node whose shuffle output was
+        #: lost; its value is the list of nodes holding the re-run output.
+        self._map_recoveries: Dict[str, Event] = {}
+        self._recovery_seq = 1
+        #: Shuffle fetches that failed and had to be retried or recovered.
+        self.shuffle_refetches = 0
 
     # -- public API -----------------------------------------------------------
 
@@ -138,9 +157,15 @@ class MRJob:
                 self._make_reduce_task(index) for index in range(self.num_reduces)
             ]
             self.rm.submit_all(reduce_tasks)
-            yield join_all(
-                self.env, [task.completed for task in reduce_tasks]
-            )
+            try:
+                yield join_all(
+                    self.env, [task.completed for task in reduce_tasks]
+                )
+            except Exception:
+                # A reduce was abandoned after retry exhaustion (its
+                # nodes kept dying): finish the job as failed rather
+                # than crash the submitter.
+                self.failed = True
 
         if self.config.job_commit_overhead > 0:
             yield Timeout(self.env, self.config.job_commit_overhead)
@@ -184,7 +209,7 @@ class MRJob:
         task_id = f"{self.job_id}-m{index:04d}{suffix}"
 
         def execute(node: str):
-            return self._run_map(task_id, block, node, done, avoid)
+            return self._run_map(task_id, index, block, node, done, avoid)
 
         locations = self.client.namenode.get_block_locations(block.block_id)
         if avoid:
@@ -194,7 +219,7 @@ class MRJob:
             ] or locations
         else:
             disk_nodes = locations
-        return TaskRequest(
+        task = TaskRequest(
             self.env,
             self.job_id,
             task_id,
@@ -204,6 +229,18 @@ class MRJob:
             memory_nodes_fn=lambda: self.client.memory_locations(block),
             input_block_id=block.block_id,
         )
+        # Failure backstop: when the RM abandons the attempt after
+        # exhausting retries, resolve the map's done-event so the
+        # submitter's join completes (job marked failed, never hung).
+        task.completed.callbacks.append(
+            lambda event: self._on_map_abandoned(done) if not event._ok else None
+        )
+        return task
+
+    def _on_map_abandoned(self, done: Event) -> None:
+        self.failed = True
+        if not done.triggered:
+            done.succeed(None)
 
     def _speculator(self, map_tasks: List[TaskRequest]):
         """Launch duplicate attempts for straggling maps (Hadoop-style).
@@ -259,6 +296,7 @@ class MRJob:
     def _run_map(
         self,
         task_id: str,
+        index: int,
         block: Block,
         node: str,
         done: Event,
@@ -309,6 +347,7 @@ class MRJob:
             self._map_output_by_node[node] = (
                 self._map_output_by_node.get(node, 0.0) + out_bytes
             )
+            self._map_winner_node[index] = node
 
         self.collector.record_task(
             TaskRecord(
@@ -328,6 +367,107 @@ class MRJob:
         if self.input_bytes <= 0:
             return 0.0
         return self.spec.shuffle_bytes * (block.nbytes / self.input_bytes)
+
+    # -- shuffle recovery -------------------------------------------------------
+
+    def _refetch_shuffle(self, map_node: str, node: str, nbytes: float, task_id: str):
+        """Recover one lost shuffle share (Hadoop's fetch-failure path).
+
+        While the source node lives the failure is transient (a lossy
+        network window): retry with linear backoff.  Once the source is
+        known dead its map outputs are gone with its page cache, so
+        re-execute those maps on surviving nodes and fetch the
+        regenerated output from wherever the re-runs landed.
+        """
+        self.shuffle_refetches += 1
+        network = self.client.network
+        for attempt in range(_SHUFFLE_RETRIES):
+            if network.node_is_down(map_node):
+                break
+            yield Timeout(self.env, _SHUFFLE_BACKOFF * (attempt + 1))
+            try:
+                yield network.transfer(
+                    map_node, node, nbytes, tag=("shuffle", task_id)
+                )
+                return
+            except NetworkError:
+                continue
+        replacements = yield self._recover_map_outputs(map_node)
+        sources = [name for name in replacements if name != node]
+        if not sources:
+            # Regenerated output is local to this reduce (or the re-runs
+            # were abandoned, in which case the job is already failed).
+            return
+        part = nbytes / len(sources)
+        for source in sources:
+            try:
+                yield network.transfer(
+                    source, node, part, tag=("shuffle", task_id)
+                )
+            except NetworkError:
+                # The replacement died too; the run is churning faster
+                # than recovery can keep up — surface a failed job
+                # rather than recurse indefinitely.
+                self.failed = True
+
+    def _recover_map_outputs(self, lost_node: str) -> Event:
+        """Re-run the maps whose shuffle output died with ``lost_node``.
+
+        Shared by every reduce that notices the loss: the first caller
+        starts the recovery process, later callers wait on the same
+        event.  Its value is the sorted list of nodes now holding the
+        regenerated output.
+        """
+        recovery = self._map_recoveries.get(lost_node)
+        if recovery is not None:
+            return recovery
+        recovery = Event(self.env)
+        self._map_recoveries[lost_node] = recovery
+        indices = sorted(
+            index
+            for index, winner in self._map_winner_node.items()
+            if winner == lost_node
+        )
+        self._map_output_by_node.pop(lost_node, None)
+        for index in indices:
+            del self._map_winner_node[index]
+        self.env.process(
+            self._rerun_maps(lost_node, indices, recovery),
+            name=f"map-recovery-{self.job_id}-{lost_node}",
+        )
+        return recovery
+
+    def _rerun_maps(self, lost_node: str, indices: List[int], recovery: Event):
+        done_events = []
+        tasks = []
+        for index in indices:
+            self._recovery_seq += 1
+            done = Event(self.env)
+            done_events.append((index, done))
+            tasks.append(
+                self._make_map_task(
+                    index,
+                    self._blocks[index],
+                    done,
+                    attempt=self._recovery_seq,
+                    avoid=(lost_node,),
+                )
+            )
+        self.rm.submit_all(tasks)
+        if done_events:
+            # Abandoned re-runs resolve their done-event through
+            # _on_map_abandoned (marking the job failed), so this join
+            # cannot fail or hang.
+            yield join_all(self.env, [done for _, done in done_events])
+        recovery.succeed(
+            sorted(
+                {
+                    self._map_winner_node[index]
+                    for index, _ in done_events
+                    if index in self._map_winner_node
+                }
+            )
+        )
 
     # -- reduce side --------------------------------------------------------------
 
@@ -353,12 +493,28 @@ class MRJob:
                 nbytes = share * (produced / total_map_output)
                 if map_node != node and nbytes > 0:
                     fetches.append(
-                        self.client.network.transfer(
-                            map_node, node, nbytes, tag=("shuffle", task_id)
+                        (
+                            map_node,
+                            nbytes,
+                            self.client.network.transfer(
+                                map_node, node, nbytes, tag=("shuffle", task_id)
+                            ),
                         )
                     )
         if fetches:
-            yield join_all(self.env, fetches)
+            try:
+                yield join_all(self.env, [event for _, _, event in fetches])
+            except NetworkError:
+                # At least one map node became unreachable mid-shuffle.
+                # Settle every fetch individually: retry transient
+                # failures, re-execute the maps of dead sources.
+                for map_node, nbytes, event in fetches:
+                    try:
+                        yield event
+                    except NetworkError:
+                        yield from self._refetch_shuffle(
+                            map_node, node, nbytes, task_id
+                        )
 
         if share > 0 and self.spec.reduce_cpu_factor > 0:
             yield Timeout(
@@ -372,8 +528,13 @@ class MRJob:
             self.spec.output_bytes / self.num_reduces if self.num_reduces else 0.0
         )
         if out_share > 0:
+            out_path = f"/out/{self.job_id}/part-{index:04d}"
+            if self.client.exists(out_path):
+                # A previous attempt of this reduce died after creating
+                # the file; overwrite like a Hadoop output committer.
+                self.client.delete(out_path)
             yield self.client.write_file(
-                f"/out/{self.job_id}/part-{index:04d}",
+                out_path,
                 out_share,
                 writer_node=node,
                 replication=self.config.output_replication,

@@ -49,6 +49,9 @@ class NodeManager:
         self._wake: Optional[Event] = None
         self._next_beat = 0  # index k of the next heartbeat on the grid
         self._running: dict = {}  # task_id -> inner task Process
+        #: Heartbeat-loop generation: bumped on restart so a parked
+        #: pre-failure loop can never double-beat alongside the new one.
+        self._hb_generation = 0
 
     def attach(self, rm: "ResourceManager") -> None:
         """Register with the RM and start heartbeating."""
@@ -81,6 +84,19 @@ class NodeManager:
                 process.interrupt(cause=f"node {self.name} failed")
         self.notify_work()
 
+    def restart(self) -> None:
+        """Restart the NodeManager on the same server, all slots free."""
+        if self.alive:
+            return
+        self.alive = True
+        self.free_slots = self.slots
+        self._running.clear()
+        self._hb_generation += 1
+        self.env.process(
+            self._heartbeat_loop(self._hb_generation),
+            name=f"nm-{self.name}-heartbeat",
+        )
+
     def _container(self, task: TaskRequest):
         # The task body runs inside the container process itself
         # (``yield from``) rather than in a second wrapped process: one
@@ -95,7 +111,9 @@ class NodeManager:
             error = raised
         finally:
             self._running.pop(task.task_id, None)
-            self.free_slots += 1
+            # Clamped: a container dying across a fail()/restart() cycle
+            # must not push the freshly reset slot count past capacity.
+            self.free_slots = min(self.slots, self.free_slots + 1)
         if self._rm is None:
             if error is None and not task.completed.triggered:
                 task.completed.succeed(None)
@@ -107,8 +125,8 @@ class NodeManager:
         else:
             self._rm.on_task_failed(task, self, error)
 
-    def _heartbeat_loop(self):
-        while self.alive:
+    def _heartbeat_loop(self, generation: int = 0):
+        while self.alive and generation == self._hb_generation:
             if self._rm is None or self._rm.pending_count == 0:
                 self._wake = Event(self.env)
                 yield self._wake

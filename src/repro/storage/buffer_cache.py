@@ -229,7 +229,13 @@ class BufferCache:
     def _flush_loop(self):
         while self._dirty_bytes > 0:
             chunk = min(self.flush_chunk, self._dirty_bytes)
-            yield self.flush_device.transfer(chunk, tag="write-back")
+            try:
+                yield self.flush_device.transfer(chunk, tag="write-back")
+            except Exception:
+                # The backing device died mid-flush (host failure): the
+                # dirty pages are gone with the process.
+                self._dirty_bytes = 0.0
+                break
             self._dirty_bytes -= chunk
         self._flusher_running = False
 

@@ -34,6 +34,10 @@ MB = 1024 * 1024
 GB = 1024 * MB
 
 
+def _consume_failure(event: Event) -> None:
+    """Sink callback marking an intentionally-aborted event as handled."""
+
+
 class Transfer:
     """One in-flight byte transfer on a :class:`TransferDevice`."""
 
@@ -185,6 +189,43 @@ class TransferDevice:
         else:
             self._admit(record)
         return done
+
+    def set_bandwidth(self, bandwidth: float) -> None:
+        """Change the sequential bandwidth mid-run (slow-disk fault).
+
+        Progress made so far is settled at the old rates; every in-flight
+        transfer continues at the new speed.  Used by the fault injector
+        to model a straggling disk without disturbing the transfer set.
+        """
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if bandwidth == self.bandwidth:
+            return
+        self._settle()
+        self.bandwidth = float(bandwidth)
+        self._reschedule()
+
+    def fail_all(self, error: BaseException) -> int:
+        """Abort every in-flight transfer, failing its done event with
+        ``error`` (the device's host died).  Returns the abort count.
+
+        A waiter that died in the same host failure (its container is
+        interrupted at URGENT priority, unsubscribing it before the
+        failed event processes) would leave the event callback-less and
+        the engine would treat the failure as unhandled — so each
+        aborted event gets a sink callback; live waiters still see the
+        exception.
+        """
+        if not self._active:
+            return 0
+        self._settle()
+        failed = self._active
+        self._active = []
+        self._reschedule()
+        for record in failed:
+            record.done.fail(error)
+            record.done.callbacks.append(_consume_failure)
+        return len(failed)
 
     def cancel(self, done_event: Event) -> bool:
         """Abort the in-flight transfer whose done-event is ``done_event``.

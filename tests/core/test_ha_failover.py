@@ -1,0 +1,76 @@
+"""HA master failover mid-run (paper III-A5 with a standby pair)."""
+
+from repro import IgnemConfig, build_paper_testbed
+from repro.storage import GB, MB
+
+
+def make_ha_cluster():
+    cluster = build_paper_testbed(num_nodes=4, replication=2, seed=13)
+    ha = cluster.enable_ignem(
+        IgnemConfig(buffer_capacity=1 * GB, rpc_latency=0.0), ha=True
+    )
+    return cluster, ha
+
+
+class TestFailoverMidRun:
+    def test_failover_purges_slaves_and_standby_serves(self):
+        cluster, ha = make_ha_cluster()
+        cluster.client.create_file("/f", 256 * MB)
+        checkpoints = {}
+
+        def driver(env):
+            ha.request_migration(["/f"], "j1")
+            yield env.timeout(0.05)  # mid-migration
+            checkpoints["refs_before"] = sum(
+                s.reference_count() for s in ha.slaves()
+            )
+            ha.fail_primary()
+            # III-A5: the slaves purge every reference and migrated block
+            # the moment the master is lost — the new master starts from
+            # a state consistent with theirs.
+            checkpoints["refs_after"] = sum(
+                s.reference_count() for s in ha.slaves()
+            )
+            checkpoints["bytes_after"] = sum(
+                s.migrated_bytes for s in ha.slaves()
+            )
+            yield env.timeout(0.05)
+            # The standby is now active and serves new migrate calls.
+            ha.request_migration(["/f"], "j2")
+
+        cluster.env.process(driver(cluster.env), name="driver")
+        cluster.run()
+
+        assert checkpoints["refs_before"] > 0
+        assert checkpoints["refs_after"] == 0
+        assert checkpoints["bytes_after"] == 0
+        assert ha.failovers == 1
+        for block in cluster.namenode.file_blocks("/f"):
+            assert any(s.block_migrated(block.block_id) for s in ha.slaves())
+
+    def test_recover_primary_swaps_roles_back_cleanly(self):
+        cluster, ha = make_ha_cluster()
+        cluster.client.create_file("/f", 128 * MB)
+
+        def driver(env):
+            ha.fail_primary()
+            yield env.timeout(1.0)
+            ha.recover_primary()
+            yield env.timeout(1.0)
+            ha.request_migration(["/f"], "j1")
+
+        cluster.env.process(driver(cluster.env), name="driver")
+        cluster.run()
+
+        assert ha.failovers == 1
+        assert ha.alive
+        for block in cluster.namenode.file_blocks("/f"):
+            assert any(s.block_migrated(block.block_id) for s in ha.slaves())
+
+    def test_repeated_failure_is_idempotent(self):
+        cluster, ha = make_ha_cluster()
+        ha.fail_primary()
+        assert ha.alive  # standby took over
+        ha.fail_primary()  # already failed: swallowed, not double-counted
+        assert ha.failovers == 1
+        assert ha.alive

@@ -1,0 +1,45 @@
+"""ChaosRunner: seeded sweeps complete with zero invariant violations."""
+
+from repro.faults import ChaosRunner
+
+
+class TestChaosRuns:
+    def test_single_seed_upholds_invariants(self):
+        result = ChaosRunner(num_jobs=5).run_seed(0)
+        assert result.violations == []
+        assert result.jobs_total == 5
+        assert result.jobs_completed + result.jobs_failed >= result.jobs_total
+        assert result.sim_time > 0
+        assert result.ok
+
+    def test_same_seed_is_deterministic(self):
+        def run():
+            r = ChaosRunner(num_jobs=5).run_seed(4)
+            return (
+                r.faults_applied,
+                r.crashes,
+                r.jobs_completed,
+                r.jobs_failed,
+                r.command_retries,
+                r.commands_rerouted,
+                r.commands_abandoned,
+                r.failovers,
+                r.sim_time,
+                tuple(r.violations),
+            )
+
+        assert run() == run()
+
+    def test_sweep_report(self):
+        report = ChaosRunner(num_jobs=4).sweep(seeds=2, base_seed=5)
+        assert len(report.results) == 2
+        assert [r.seed for r in report.results] == [5, 6]
+        assert report.total_violations == 0
+        assert report.ok
+        text = report.format()
+        assert "PASS" in text
+        assert "seed" in text
+
+    def test_runs_without_ha_pair(self):
+        result = ChaosRunner(num_jobs=4, ha=False).run_seed(1)
+        assert result.violations == []

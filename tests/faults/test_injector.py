@@ -1,0 +1,134 @@
+"""FaultInjector: schedules drive real cluster failure hooks."""
+
+import pytest
+
+from repro import IgnemConfig, build_paper_testbed
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule
+from repro.net.network import NetworkError
+from repro.storage import MB
+
+
+def make_cluster():
+    cluster = build_paper_testbed(num_nodes=4, replication=2, seed=13)
+    cluster.enable_ignem(IgnemConfig(rpc_latency=0.0))
+    return cluster
+
+
+def run_with(cluster, schedule, until=None):
+    injector = FaultInjector(cluster, schedule)
+    injector.start()
+    cluster.run(until=until)
+    return injector
+
+
+class TestCrashRestart:
+    def test_crash_takes_node_down_and_restart_revives(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule(
+            (
+                FaultEvent(1.0, "crash", "node1"),
+                FaultEvent(5.0, "restart", "node1"),
+            )
+        )
+        observations = []
+
+        def probe(env):
+            yield env.timeout(2.0)
+            observations.append(
+                (
+                    cluster.datanodes["node1"].alive,
+                    cluster.network.node_is_down("node1"),
+                )
+            )
+
+        cluster.env.process(probe(cluster.env), name="probe")
+        injector = run_with(cluster, schedule)
+
+        assert observations == [(False, True)]
+        assert cluster.datanodes["node1"].alive
+        assert not cluster.network.node_is_down("node1")
+        assert injector.down_nodes == set()
+        assert injector.max_concurrent_down == 1
+        assert [e.kind for _, e in injector.applied] == ["crash", "restart"]
+
+    def test_crash_is_idempotent(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule(
+            (
+                FaultEvent(1.0, "crash", "node1"),
+                FaultEvent(2.0, "crash", "node1"),
+                FaultEvent(5.0, "restart", "node1"),
+            )
+        )
+        injector = run_with(cluster, schedule)
+        # The duplicate crash is swallowed, not applied twice.
+        assert [e.kind for _, e in injector.applied] == ["crash", "restart"]
+
+
+class TestSlowDisk:
+    def test_bandwidth_degrades_then_recovers(self):
+        cluster = make_cluster()
+        nominal = cluster.datanodes["node2"].disk.bandwidth
+        schedule = FaultSchedule(
+            (
+                FaultEvent(1.0, "slow_disk_start", "node2", 0.1),
+                FaultEvent(3.0, "slow_disk_end", "node2"),
+            )
+        )
+        inside = []
+
+        def probe(env):
+            yield env.timeout(2.0)
+            inside.append(cluster.datanodes["node2"].disk.bandwidth)
+
+        cluster.env.process(probe(cluster.env), name="probe")
+        run_with(cluster, schedule)
+
+        assert inside == [pytest.approx(nominal * 0.1)]
+        assert cluster.datanodes["node2"].disk.bandwidth == pytest.approx(nominal)
+
+
+class TestNetLoss:
+    def test_window_installs_and_clears_hooks(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule(
+            (
+                FaultEvent(1.0, "net_loss_start", None, 1.0),
+                FaultEvent(3.0, "net_loss_end"),
+            )
+        )
+        outcomes = []
+
+        def probe(env):
+            yield env.timeout(2.0)
+            assert cluster.network.fault_hook is not None
+            try:
+                yield cluster.network.transfer("node0", "node1", 1 * MB)
+                outcomes.append("delivered")
+            except NetworkError:
+                outcomes.append("lost")
+
+        cluster.env.process(probe(cluster.env), name="probe")
+        run_with(cluster, schedule)
+
+        # Loss probability 1.0: the in-window transfer must be dropped.
+        assert outcomes == ["lost"]
+        assert cluster.network.fault_hook is None
+        assert cluster.ignem_master.rpc_fault is None
+
+
+class TestDeterminism:
+    def test_identical_runs_apply_identical_faults(self):
+        def one_run():
+            cluster = make_cluster()
+            schedule = FaultSchedule.random(7, cluster.node_names(), horizon=60.0)
+            injector = run_with(cluster, schedule)
+            return injector.applied
+
+        assert one_run() == one_run()
+
+    def test_empty_schedule_is_a_no_op(self):
+        cluster = make_cluster()
+        injector = run_with(cluster, FaultSchedule(()))
+        assert injector.applied == []
+        assert cluster.env.now == 0.0

@@ -1,0 +1,86 @@
+"""InvariantChecker: clean runs pass, corrupted state is flagged."""
+
+from repro import IgnemConfig, build_paper_testbed
+from repro.faults import InvariantChecker, data_loss_violations
+from repro.storage import GB, MB
+
+
+def make_cluster(**kwargs):
+    kwargs.setdefault("num_nodes", 4)
+    kwargs.setdefault("replication", 2)
+    kwargs.setdefault("seed", 13)
+    cluster = build_paper_testbed(**kwargs)
+    cluster.enable_ignem(IgnemConfig(buffer_capacity=1 * GB, rpc_latency=0.0))
+    return cluster
+
+
+def migrated_cluster():
+    cluster = make_cluster()
+    cluster.rm.register_job("j1")
+    cluster.client.create_file("/f", 256 * MB)
+    cluster.ignem_master.request_migration(["/f"], "j1")
+    cluster.run()
+    return cluster
+
+
+class TestCleanRun:
+    def test_no_violations_on_a_healthy_cluster(self):
+        cluster = migrated_cluster()
+        assert InvariantChecker(cluster).check() == []
+
+    def test_no_violations_after_eviction(self):
+        cluster = migrated_cluster()
+        cluster.ignem_master.request_eviction(["/f"], "j1")
+        cluster.rm.unregister_job("j1")
+        cluster.run()
+        assert InvariantChecker(cluster).check() == []
+
+
+class TestCorruptionDetection:
+    def test_stale_memory_index_entry_is_flagged(self):
+        cluster = migrated_cluster()
+        block = cluster.namenode.file_blocks("/f")[0]
+        holders = cluster.namenode.memory_nodes(block.block_id)
+        ghost = next(
+            name for name in cluster.node_names() if name not in holders
+        )
+        cluster.namenode.locality_index.update(ghost, block.block_id, True)
+        violations = InvariantChecker(cluster).check_memory_index()
+        assert any(block.block_id in v for v in violations)
+
+    def test_dangling_reference_is_flagged(self):
+        cluster = migrated_cluster()
+        # The job vanishes from the scheduler without ever evicting: the
+        # refs it left behind are exactly what III-A4's sweep hunts.
+        cluster.rm.unregister_job("j1")
+        violations = InvariantChecker(cluster).check_reference_lists()
+        assert violations
+        assert all("j1" in v for v in violations)
+
+    def test_byte_accounting_mismatch_is_flagged(self):
+        cluster = migrated_cluster()
+        slave = next(
+            s for s in cluster.ignem_master.slaves() if s.migrated_bytes > 0
+        )
+        slave.migrated_bytes += 10 * MB
+        assert InvariantChecker(cluster).check_byte_accounting()
+
+
+class TestDataLoss:
+    def test_replication_one_files_are_exempt(self):
+        cluster = make_cluster()
+        cluster.client.create_file("/single", 64 * MB, replication=1)
+        block = cluster.namenode.file_blocks("/single")[0]
+        (holder,) = cluster.namenode.get_block_locations(block.block_id)
+        cluster.fail_node(holder)
+        assert data_loss_violations(cluster.namenode, {holder}, when=0.0) == []
+
+    def test_losing_all_replicas_below_tolerance_is_flagged(self):
+        cluster = make_cluster()
+        cluster.client.create_file("/r2", 64 * MB)
+        block = cluster.namenode.file_blocks("/r2")[0]
+        # Simulate a bug: the location list empties although only one
+        # node is down — a replication-2 file must survive that.
+        cluster.namenode._locations[block.block_id].clear()
+        violations = data_loss_violations(cluster.namenode, {"node0"}, when=1.0)
+        assert any(block.block_id in v for v in violations)

@@ -1,0 +1,75 @@
+"""FaultSchedule: deterministic, sorted, and safely bounded."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultSchedule
+
+NODES = [f"node{i}" for i in range(8)]
+
+
+class TestFaultEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, "crash", "node0")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "meteor", "node0")
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_time(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(5.0, "restart", "node0"),
+                FaultEvent(1.0, "crash", "node0"),
+                FaultEvent(3.0, "master_fail"),
+            )
+        )
+        assert [e.time for e in schedule] == [1.0, 3.0, 5.0]
+
+    def test_same_seed_same_schedule(self):
+        first = FaultSchedule.random(42, NODES, horizon=300.0)
+        second = FaultSchedule.random(42, NODES, horizon=300.0)
+        assert first.events == second.events
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            FaultSchedule.random(seed, NODES, horizon=300.0).events
+            for seed in range(8)
+        }
+        assert len(schedules) > 1
+
+    def test_every_crash_has_a_later_restart(self):
+        for seed in range(20):
+            schedule = FaultSchedule.random(seed, NODES, horizon=300.0)
+            crashes = {
+                e.target: e.time for e in schedule if e.kind == "crash"
+            }
+            restarts = {
+                e.target: e.time for e in schedule if e.kind == "restart"
+            }
+            assert set(crashes) == set(restarts)
+            for node, at in crashes.items():
+                assert restarts[node] > at
+
+    def test_crash_victim_cap(self):
+        for seed in range(20):
+            schedule = FaultSchedule.random(
+                seed, NODES, horizon=300.0, max_node_crashes=2
+            )
+            assert len(schedule.crashed_nodes()) <= 2
+
+    def test_rejects_crashing_too_many_nodes(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.random(0, ["a", "b"], horizon=100.0, max_node_crashes=2)
+
+    def test_rejects_non_positive_horizon(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.random(0, NODES, horizon=0.0)
+
+    def test_empty_schedule(self):
+        schedule = FaultSchedule(())
+        assert schedule.is_empty
+        assert len(schedule) == 0
+        assert schedule.crashed_nodes() == []
