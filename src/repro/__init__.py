@@ -17,12 +17,25 @@ Quickstart::
     job = cluster.engine.submit_job(JobSpec("grep", ("/data/logs",)))
     cluster.run()
     print(f"{job.job_id} took {job.duration:.1f}s")
+
+Traced run (observability is off by default; enabling it never changes
+simulation outcomes)::
+
+    from repro import TraceReader, build_paper_testbed, JobSpec
+
+    cluster = build_paper_testbed(ignem=True)
+    cluster.client.create_file("/data/logs", 640 * MB)
+    cluster.engine.submit_job(JobSpec("grep", ("/data/logs",)))
+    cluster.run(trace="run.jsonl", metrics="metrics.json")
+    print(cluster.metrics.value("ignem.slave.migrations_completed"))
+    TraceReader.load("run.jsonl").to_chrome("run.chrome.json")
 """
 
 from .cluster import Cluster, ClusterConfig, build_paper_testbed
 from .core import IgnemConfig, IgnemMaster, IgnemSlave
 from .mapreduce import EngineConfig, JobSpec, MapReduceEngine
 from .metrics import MetricsCollector
+from .obs import MetricsRegistry, ObservabilityConfig, TraceReader
 
 __version__ = "1.0.0"
 
@@ -36,6 +49,9 @@ __all__ = [
     "JobSpec",
     "MapReduceEngine",
     "MetricsCollector",
+    "MetricsRegistry",
+    "ObservabilityConfig",
+    "TraceReader",
     "build_paper_testbed",
     "__version__",
 ]

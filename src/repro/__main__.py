@@ -4,9 +4,16 @@ Usage::
 
     python -m repro list
     python -m repro run table1 fig6 --out results/ --seed 0
+    python -m repro run table1 --trace results/traces --metrics-out results/metrics
     python -m repro all --out results/
+    python -m repro trace swim-ignem --out results/ --num-jobs 40
     python -m repro profile --mode ignem --num-jobs 200 --top 30
     python -m repro chaos --seeds 10
+
+Every subcommand shares the ``--out``/``--seed`` pair (one parent
+parser), and observability is exposed uniformly: ``--trace`` /
+``--metrics-out`` on ``run``/``all``, and the dedicated ``trace``
+subcommand for a schema-validated traced run of the SWIM workload.
 """
 
 from __future__ import annotations
@@ -26,21 +33,76 @@ def build_parser() -> argparse.ArgumentParser:
             "of Cold Data in Big Data File Systems' (ICDCS 2018)."
         ),
     )
+    # Shared parent: every subcommand that produces files takes the same
+    # --out/--seed pair.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--out", default="results", help="output directory")
+    common.add_argument("--seed", type=int, default=0, help="master RNG seed")
+
+    # Shared parent: observability flags on the experiment runners.
+    observability = argparse.ArgumentParser(add_help=False)
+    observability.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write Chrome trace_event JSONL traces of the underlying SWIM "
+            "workload runs into DIR"
+        ),
+    )
+    observability.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        default=None,
+        help="write metrics-registry snapshots of the SWIM runs into DIR",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
 
-    run = sub.add_parser("run", help="run selected experiments")
+    run = sub.add_parser(
+        "run",
+        parents=[common, observability],
+        help="run selected experiments",
+    )
     run.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
-    run.add_argument("--out", default="results", help="output directory")
-    run.add_argument("--seed", type=int, default=0)
 
-    everything = sub.add_parser("all", help="run every experiment")
-    everything.add_argument("--out", default="results", help="output directory")
-    everything.add_argument("--seed", type=int, default=0)
+    sub.add_parser(
+        "all",
+        parents=[common, observability],
+        help="run every experiment",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        parents=[common],
+        help="run one experiment's SWIM workload with tracing enabled",
+        description=(
+            "Run the SWIM workload behind EXPERIMENT with structured "
+            "tracing and the metrics registry enabled, write one JSONL "
+            "trace plus one metrics snapshot per mode into --out, and "
+            "validate every trace against the shipped schema.  Exits 1 "
+            "if any trace fails validation.  Load the JSONL in "
+            "chrome://tracing or Perfetto (after TraceReader.to_chrome)."
+        ),
+    )
+    trace.add_argument("experiment", metavar="EXPERIMENT")
+    trace.add_argument(
+        "--num-jobs",
+        type=int,
+        default=40,
+        help="SWIM jobs per traced run (short by default; paper uses 200)",
+    )
+    trace.add_argument(
+        "--sim-events",
+        action="store_true",
+        help="also trace kernel event dispatch (very verbose)",
+    )
 
     profile = sub.add_parser(
         "profile",
+        parents=[common],
         help="cProfile one SWIM run (the perf-tuning entry point)",
         description=(
             "Run run_swim() under cProfile and print the hottest functions. "
@@ -53,7 +115,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", default="ignem", choices=("hdfs", "ignem", "ram")
     )
     profile.add_argument("--num-jobs", type=int, default=200)
-    profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--top", type=int, default=30, help="rows to print")
     profile.add_argument(
         "--sort",
@@ -64,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = sub.add_parser(
         "chaos",
+        parents=[common],
         help="sweep seeded fault schedules and check invariants",
         description=(
             "Run the SWIM workload under N seeded fault schedules (node "
@@ -73,7 +135,6 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     chaos.add_argument("--seeds", type=int, default=10, help="number of seeds")
-    chaos.add_argument("--base-seed", type=int, default=0)
     chaos.add_argument(
         "--num-jobs", type=int, default=40, help="SWIM jobs per seed"
     )
@@ -119,9 +180,36 @@ def run_chaos(args) -> int:
         ha=not args.no_ha,
         max_node_crashes=args.max_node_crashes,
     )
-    report = runner.sweep(seeds=args.seeds, base_seed=args.base_seed)
+    report = runner.sweep(seeds=args.seeds, base_seed=args.seed)
     print(report.format())
     return 0 if report.ok else 1
+
+
+def run_trace(args) -> int:
+    from .experiments.traced import run_traced, traceable_experiments
+
+    try:
+        results = run_traced(
+            args.experiment,
+            out_dir=args.out,
+            seed=args.seed,
+            num_jobs=args.num_jobs,
+            sim_events=args.sim_events,
+        )
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        print(
+            f"traceable experiments: {', '.join(traceable_experiments())}",
+            file=sys.stderr,
+        )
+        return 2
+    ok = True
+    for result in results:
+        print(result.format())
+        for message in result.schema_errors:
+            print(f"  {message}", file=sys.stderr)
+        ok = ok and result.ok
+    return 0 if ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -134,10 +222,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_profile(args)
     if args.command == "chaos":
         return run_chaos(args)
+    if args.command == "trace":
+        return run_trace(args)
 
     names = None if args.command == "all" else args.experiments
     try:
-        results = run_experiments(names, out_dir=args.out, seed=args.seed)
+        results = run_experiments(
+            names,
+            out_dir=args.out,
+            seed=args.seed,
+            trace_dir=args.trace,
+            metrics_dir=args.metrics_out,
+        )
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2

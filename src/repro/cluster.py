@@ -24,6 +24,7 @@ from .mapreduce.engine import MapReduceEngine
 from .mapreduce.spec import EngineConfig
 from .metrics.collector import MetricsCollector
 from .net.network import TEN_GBPS, Network
+from .obs import Observability, ObservabilityConfig
 from .sim.engine import Environment
 from .sim.rand import RandomSource
 from .storage.device import GB, MB
@@ -47,6 +48,11 @@ class ClusterConfig:
     locality_wait: float = 0.0
     seed: int = 0
     engine: EngineConfig = field(default_factory=EngineConfig)
+    #: Structured tracing + metrics (disabled by default; see
+    #: :class:`repro.obs.ObservabilityConfig`).
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -122,6 +128,20 @@ class Cluster:
         self.ignem_slaves: Dict[str, IgnemSlave] = {}
         self.replication_monitor: Optional[ReplicationMonitor] = None
 
+        #: Observability facade: the metrics registry is always live
+        #: (passive bookkeeping); tracing activates via
+        #: ``ObservabilityConfig(enabled=True)`` or ``run(trace=...)``.
+        self.obs = Observability(self.env, cfg.observability)
+        self.obs.register_cluster_pulls(self)
+        if cfg.observability.enabled:
+            self.obs.activate()
+            self.obs.attach(self)
+
+    @property
+    def metrics(self):
+        """The cluster-wide :class:`~repro.obs.MetricsRegistry`."""
+        return self.obs.registry
+
     # -- configurations -------------------------------------------------------------
 
     def enable_ignem(
@@ -145,6 +165,7 @@ class Cluster:
                 rng=self.rng.spawn("ignem-master"),
                 config=ignem_config,
                 collector=self.collector,
+                registry=self.obs.registry,
             )
         else:
             master = IgnemMaster(
@@ -153,15 +174,23 @@ class Cluster:
                 rng=self.rng.spawn("ignem-master"),
                 config=ignem_config,
                 collector=self.collector,
+                registry=self.obs.registry,
             )
         for name, datanode in self.datanodes.items():
             slave = IgnemSlave(
-                self.env, datanode, self.rm, ignem_config, self.collector
+                self.env,
+                datanode,
+                self.rm,
+                ignem_config,
+                self.collector,
+                registry=self.obs.registry,
             )
             master.attach_slave(slave)
             self.ignem_slaves[name] = slave
         self.client.ignem_master = master
         self.ignem_master = master
+        if self.obs.active:
+            self.obs.attach_ignem(master, self.ignem_slaves)
         return master
 
     def enable_rereplication(
@@ -228,9 +257,36 @@ class Cluster:
 
     # -- convenience -------------------------------------------------------------------
 
-    def run(self, until=None):
-        """Advance the simulation (see :meth:`Environment.run`)."""
-        return self.env.run(until=until)
+    def run(self, until=None, trace=None, metrics=None):
+        """Advance the simulation (see :meth:`Environment.run`).
+
+        Observability extensions (all optional; plain ``run()`` is the
+        untouched clean path):
+
+        * ``trace="path.jsonl"`` — activate tracing (if not already on
+          via :class:`~repro.obs.ObservabilityConfig`) and write the
+          JSONL trace there when this run returns;
+        * ``metrics="path.json"`` — write the metrics-registry snapshot
+          there when this run returns (works without tracing too).
+
+        With ``ObservabilityConfig(enabled=True, trace_path=...,
+        metrics_path=...)`` the same outputs are produced without
+        per-call arguments.
+        """
+        obs = self.obs
+        obs_cfg = self.config.observability
+        if trace is not None and not obs.active:
+            obs.activate()
+        if obs.active:
+            obs.attach(self)
+        result = self.env.run(until=until)
+        trace_path = trace if trace is not None else obs_cfg.trace_path
+        if obs.active and trace_path is not None:
+            obs.tracer.dump(trace_path)
+        metrics_path = metrics if metrics is not None else obs_cfg.metrics_path
+        if metrics_path is not None:
+            obs.registry.write(metrics_path)
+        return result
 
     def node_names(self) -> List[str]:
         return sorted(self.datanodes.keys())

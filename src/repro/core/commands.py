@@ -28,6 +28,10 @@ class MigrationWorkItem:
     implicit_eviction: bool
     order_hint: int = 0
     seq: int = field(default_factory=itertools.count().__next__)
+    #: Stamped by the receiving slave (sim-time of queue entry) to
+    #: measure queue waits; excluded from equality/hash so observability
+    #: never changes command identity.
+    received_at: float = field(default=0.0, compare=False)
 
     @property
     def block_id(self) -> str:

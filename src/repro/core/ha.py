@@ -11,10 +11,12 @@ the paper's "temporary performance loss, never a correctness loss".
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence
 
 from ..dfs.namenode import NameNode
 from ..metrics.collector import MetricsCollector
+from ..obs.registry import MetricsRegistry
 from ..sim.engine import Environment
 from ..sim.rand import RandomSource
 from .config import IgnemConfig
@@ -22,12 +24,33 @@ from .master import IgnemMaster
 from .slave import IgnemSlave
 
 
+def _deprecated_pair_counter(attr: str, metric: str) -> property:
+    """Deprecated pair-summed counter view; the shared registry (both
+    masters report into one :class:`MetricsRegistry`) is canonical."""
+
+    def getter(self):
+        warnings.warn(
+            f"HighAvailabilityMaster.{attr} is deprecated; read "
+            f"master.metrics.value({metric!r}) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self.primary, "_" + attr) + getattr(
+            self.standby, "_" + attr
+        )
+
+    getter.__name__ = attr
+    return property(getter)
+
+
 class HighAvailabilityMaster:
     """A primary/standby Ignem master pair behind one client-facing API.
 
     Failover is immediate (the standby's address is pre-listed, so there
     is no configuration broadcast to wait for): the first request after a
-    primary failure is served by the standby.
+    primary failure is served by the standby.  Both masters report into
+    one shared :class:`MetricsRegistry`, so ``ignem.master.*`` counters
+    are cluster-wide totals across failovers.
     """
 
     def __init__(
@@ -37,15 +60,42 @@ class HighAvailabilityMaster:
         rng: Optional[RandomSource] = None,
         config: Optional[IgnemConfig] = None,
         collector: Optional[MetricsCollector] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         rng = rng or RandomSource(0)
+        registry = registry or MetricsRegistry()
         self.primary = IgnemMaster(
-            env, namenode, rng=rng.spawn("primary"), config=config, collector=collector
+            env,
+            namenode,
+            rng=rng.spawn("primary"),
+            config=config,
+            collector=collector,
+            registry=registry,
         )
         self.standby = IgnemMaster(
-            env, namenode, rng=rng.spawn("standby"), config=config, collector=collector
+            env,
+            namenode,
+            rng=rng.spawn("standby"),
+            config=config,
+            collector=collector,
+            registry=registry,
         )
         self._failovers = 0
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry shared by both masters."""
+        return self.primary.metrics
+
+    @property
+    def obs(self):
+        """Observability facade, mirrored onto both masters."""
+        return self.primary.obs
+
+    @obs.setter
+    def obs(self, facade) -> None:
+        self.primary.obs = facade
+        self.standby.obs = facade
 
     # -- topology -------------------------------------------------------------
 
@@ -99,17 +149,19 @@ class HighAvailabilityMaster:
         self.primary.rpc_fault = hook
         self.standby.rpc_fault = hook
 
-    @property
-    def command_retries(self) -> int:
-        return self.primary.command_retries + self.standby.command_retries
-
-    @property
-    def commands_rerouted(self) -> int:
-        return self.primary.commands_rerouted + self.standby.commands_rerouted
-
-    @property
-    def commands_abandoned(self) -> int:
-        return self.primary.commands_abandoned + self.standby.commands_abandoned
+    # Deprecated pair-summed counter views (PR 2 surface).
+    commands_sent = _deprecated_pair_counter(
+        "commands_sent", "ignem.master.commands_sent"
+    )
+    command_retries = _deprecated_pair_counter(
+        "command_retries", "ignem.master.command_retries"
+    )
+    commands_rerouted = _deprecated_pair_counter(
+        "commands_rerouted", "ignem.master.commands_rerouted"
+    )
+    commands_abandoned = _deprecated_pair_counter(
+        "commands_abandoned", "ignem.master.commands_abandoned"
+    )
 
     def handle_slave_failure(self, node: str) -> None:
         """Prune the crashed slave's routing state from both masters."""

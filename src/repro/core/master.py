@@ -9,10 +9,12 @@ per-slave command lists, and ships them over (simulated) RPC.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..dfs.namenode import NameNode
 from ..metrics.collector import MetricsCollector
+from ..obs.registry import MetricsRegistry
 from ..sim.engine import Environment
 from ..sim.rand import RandomSource
 from .commands import EvictCommand, MigrateCommand, MigrationWorkItem
@@ -20,8 +22,36 @@ from .config import IgnemConfig
 from .slave import IgnemSlave
 
 
+def _deprecated_counter(attr: str, metric: str) -> property:
+    """A read-only view over a private tally, warning on every access.
+
+    PR 2 exposed the master's RPC bookkeeping as plain public ints; the
+    registry is now the source of truth (``component.event`` names under
+    ``ignem.master.*``), and these views exist only so existing callers
+    keep working through a deprecation cycle.
+    """
+
+    def getter(self):
+        warnings.warn(
+            f"IgnemMaster.{attr} is deprecated; read "
+            f"master.metrics.value({metric!r}) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, "_" + attr)
+
+    getter.__name__ = attr
+    return property(getter)
+
+
 class IgnemMaster:
-    """The migration coordinator."""
+    """The migration coordinator.
+
+    RPC/workload tallies live in a :class:`MetricsRegistry` under
+    ``ignem.master.*`` (shared with the rest of the cluster when built
+    through :class:`~repro.cluster.Cluster`); the old public counter
+    attributes remain as deprecated views.
+    """
 
     def __init__(
         self,
@@ -30,28 +60,67 @@ class IgnemMaster:
         rng: Optional[RandomSource] = None,
         config: Optional[IgnemConfig] = None,
         collector: Optional[MetricsCollector] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.namenode = namenode
         self.rng = rng or RandomSource(0)
         self.config = config or IgnemConfig()
         self.collector = collector or MetricsCollector()
+        self.metrics = registry or MetricsRegistry()
         self.alive = True
 
         self._slaves: Dict[str, IgnemSlave] = {}
         #: (job_id, block_id) -> slave nodes chosen for its migration, so
         #: eviction commands go exactly where the block went.
         self._assignments: Dict[Tuple[str, str], Tuple[str, ...]] = {}
-        self.migration_requests = 0
-        self.eviction_requests = 0
         #: Fault hook (set by the fault injector): called with the target
         #: node per delivery attempt; returning ``"lost"`` drops that
         #: attempt.  ``None`` is the zero-overhead clean path.
         self.rpc_fault: Optional[Callable[[str], Optional[str]]] = None
-        self.commands_sent = 0
-        self.command_retries = 0
-        self.commands_rerouted = 0
-        self.commands_abandoned = 0
+        #: Observability facade; ``None`` is the zero-overhead clean path.
+        self.obs = None
+
+        # Per-master truth behind the deprecated views.  The registry
+        # counters are shared instruments: an HA pair reporting into one
+        # registry naturally sums into cluster-wide totals.
+        self._migration_requests = 0
+        self._eviction_requests = 0
+        self._commands_sent = 0
+        self._command_retries = 0
+        self._commands_rerouted = 0
+        self._commands_abandoned = 0
+        metrics = self.metrics
+        self._c_migration_requests = metrics.counter(
+            "ignem.master.migration_requests"
+        )
+        self._c_eviction_requests = metrics.counter(
+            "ignem.master.eviction_requests"
+        )
+        self._c_sent = metrics.counter("ignem.master.commands_sent")
+        self._c_retries = metrics.counter("ignem.master.command_retries")
+        self._c_rerouted = metrics.counter("ignem.master.commands_rerouted")
+        self._c_abandoned = metrics.counter("ignem.master.commands_abandoned")
+
+    # Deprecated counter views (PR 2 surface); the registry is canonical.
+    migration_requests = _deprecated_counter(
+        "migration_requests", "ignem.master.migration_requests"
+    )
+    eviction_requests = _deprecated_counter(
+        "eviction_requests", "ignem.master.eviction_requests"
+    )
+    commands_sent = _deprecated_counter(
+        "commands_sent", "ignem.master.commands_sent"
+    )
+    command_retries = _deprecated_counter(
+        "command_retries", "ignem.master.command_retries"
+    )
+    commands_rerouted = _deprecated_counter(
+        "commands_rerouted", "ignem.master.commands_rerouted"
+    )
+    commands_abandoned = _deprecated_counter(
+        "commands_abandoned", "ignem.master.commands_abandoned"
+    )
 
     # -- topology -----------------------------------------------------------------
 
@@ -82,7 +151,8 @@ class IgnemMaster:
         """
         if not self.alive:
             return
-        self.migration_requests += 1
+        self._migration_requests += 1
+        self._c_migration_requests.inc()
         job_input_bytes = self.namenode.total_bytes(paths)
         submitted_at = self.env.now
 
@@ -131,7 +201,8 @@ class IgnemMaster:
         """Handle a job submitter's evict call (job completed)."""
         if not self.alive:
             return
-        self.eviction_requests += 1
+        self._eviction_requests += 1
+        self._c_eviction_requests.inc()
         batches: Dict[str, List[str]] = {}
         for path in paths:
             if not self.namenode.exists(path):
@@ -192,7 +263,10 @@ class IgnemMaster:
         abandons the work.  ``tried`` carries the nodes already attempted
         for this work so a re-route never bounces between dead slaves.
         """
-        self.commands_sent += 1
+        self._commands_sent += 1
+        self._c_sent.inc()
+        if self.obs is not None:
+            self.obs.on_master_command("sent", node, kind, command.job_id)
         if self.config.rpc_latency <= 0 and self.rpc_fault is None:
             if not self._deliver(node, kind, command):
                 self._command_failed(node, kind, command, tried)
@@ -216,7 +290,10 @@ class IgnemMaster:
                 return
             if attempt >= cfg.command_max_retries:
                 break
-            self.command_retries += 1
+            self._command_retries += 1
+            self._c_retries.inc()
+            if self.obs is not None:
+                self.obs.on_master_command("retry", node, kind, command.job_id)
             yield self.env.timeout(
                 cfg.command_timeout
                 + cfg.command_backoff * cfg.command_backoff_factor ** attempt
@@ -233,7 +310,12 @@ class IgnemMaster:
         if kind == "evict":
             # The dead slave's restart purges its references anyway
             # (III-A5), so the eviction is moot — just drop it.
-            self.commands_abandoned += 1
+            self._commands_abandoned += 1
+            self._c_abandoned.inc()
+            if self.obs is not None:
+                self.obs.on_master_command(
+                    "abandoned", node, kind, command.job_id
+                )
             return
         self._reroute_migration(node, command, tried)
 
@@ -263,7 +345,12 @@ class IgnemMaster:
                     self._assignments[key] = kept
                 else:
                     self._assignments.pop(key, None)
-                self.commands_abandoned += 1
+                self._commands_abandoned += 1
+                self._c_abandoned.inc()
+                if self.obs is not None:
+                    self.obs.on_master_command(
+                        "abandoned", failed_node, "migrate", command.job_id
+                    )
                 continue
             chosen = self.rng.choice(sorted(usable))
             if chosen in kept:
@@ -273,7 +360,12 @@ class IgnemMaster:
             self._assignments[key] = kept + (chosen,)
             batches.setdefault(chosen, []).append(item)
         for new_node, items in batches.items():
-            self.commands_rerouted += 1
+            self._commands_rerouted += 1
+            self._c_rerouted.inc()
+            if self.obs is not None:
+                self.obs.on_master_command(
+                    "rerouted", new_node, "migrate", command.job_id
+                )
             self._send(
                 new_node,
                 "migrate",

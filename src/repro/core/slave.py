@@ -20,6 +20,7 @@ from ..dfs.blocks import Block
 from ..dfs.datanode import DataNode, DataNodeError
 from ..metrics.collector import MetricsCollector
 from ..metrics.records import EvictionRecord, MemorySample, MigrationRecord
+from ..obs.registry import MetricsRegistry
 from ..scheduler.resource_manager import ResourceManager
 from ..sim.engine import Environment
 from ..sim.events import Event
@@ -39,12 +40,14 @@ class IgnemSlave:
         rm: Optional[ResourceManager],
         config: Optional[IgnemConfig] = None,
         collector: Optional[MetricsCollector] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.datanode = datanode
         self.rm = rm
         self.config = config or IgnemConfig()
         self.collector = collector or MetricsCollector()
+        self.metrics = registry or MetricsRegistry()
         self.policy: MigrationPolicy = make_policy(
             self.config.policy, self.config.reverse_within_job
         )
@@ -60,6 +63,22 @@ class IgnemSlave:
         self.usage_timeline: List[Tuple[float, float]] = [(env.now, 0.0)]
         self._space_freed: Event = env.event()
         self.alive = True
+        #: Observability facade; ``None`` is the zero-overhead clean path.
+        self.obs = None
+
+        # Registry instruments (shared across slaves when cluster-built,
+        # so ``ignem.slave.*`` are cluster-wide totals).  Counter bumps
+        # are pure bookkeeping — they never touch simulation time, so the
+        # clean path stays bit-identical.
+        metrics = self.metrics
+        self._c_refs_added = metrics.counter("ignem.slave.refs_added")
+        self._c_refs_removed = metrics.counter("ignem.slave.refs_removed")
+        self._c_completed = metrics.counter("ignem.slave.migrations_completed")
+        self._c_skipped = metrics.counter("ignem.slave.migrations_skipped")
+        self._c_cancelled = metrics.counter("ignem.slave.migrations_cancelled")
+        self._c_dnh_waits = metrics.counter("ignem.slave.do_not_harm_waits")
+        self._h_queue_wait = metrics.histogram("ignem.slave.queue_wait_seconds")
+        self._h_migration = metrics.histogram("ignem.slave.migration_seconds")
 
         datanode.on_block_read = self._on_block_read
         for index in range(self.config.migration_concurrency):
@@ -75,11 +94,14 @@ class IgnemSlave:
         """
         if not self.alive:
             return False
+        now = self.env.now
         for item in command.items:
             refs = self._refs.setdefault(item.block_id, set())
             refs.add(item.job_id)
+            self._c_refs_added.inc()
             if item.implicit_eviction:
                 self._implicit_jobs.add(item.job_id)
+            item.received_at = now
             self.queue.put_nowait(PriorityItem(self.policy.priority(item), item))
         return True
 
@@ -150,7 +172,8 @@ class IgnemSlave:
     def _handle(self, item: MigrationWorkItem):
         block = item.block
         block_id = item.block_id
-        enqueued_at = item_enqueued = self.env.now
+        enqueued_at = self.env.now
+        self._h_queue_wait.observe(max(0.0, enqueued_at - item.received_at))
 
         refs = self._refs.get(block_id)
         if not refs or item.job_id not in refs:
@@ -173,7 +196,15 @@ class IgnemSlave:
                 break
             if not self.config.do_not_harm and self._evict_victim(item):
                 continue
+            # Do-not-harm stall (paper III-A3): the buffer is full and
+            # migrated data is never evicted to admit new blocks.
+            self._c_dnh_waits.inc()
+            wait_start = self.env.now
             yield self._wait_for_space()
+            if self.obs is not None:
+                self.obs.on_do_not_harm_wait(
+                    self.name, block_id, item.job_id, wait_start
+                )
             refs = self._refs.get(block_id)
             if not refs:
                 self._record_migration(item, enqueued_at, outcome="skipped")
@@ -237,6 +268,16 @@ class IgnemSlave:
                 outcome="completed",
             )
         )
+        self._c_completed.inc()
+        self._h_migration.observe(self.env.now - start)
+        if self.obs is not None:
+            self.obs.on_migration(
+                self.name,
+                item,
+                start,
+                "completed",
+                max(0.0, enqueued_at - item.received_at),
+            )
 
     # -- reference lists & eviction -----------------------------------------------------
 
@@ -251,6 +292,7 @@ class IgnemSlave:
         if refs is None or job_id not in refs:
             return
         refs.discard(job_id)
+        self._c_refs_removed.inc()
         if not refs:
             del self._refs[block_id]
             self._release_block(block_id, reason=reason)
@@ -271,6 +313,9 @@ class IgnemSlave:
                 reason=reason,
             )
         )
+        self.metrics.counter(f"ignem.slave.evictions.{reason}").inc()
+        if self.obs is not None:
+            self.obs.on_eviction(self.name, block_id, nbytes, reason)
         self._signal_space()
 
     def cleanup_dead_jobs(self, force: bool = False) -> None:
@@ -360,6 +405,15 @@ class IgnemSlave:
                 outcome=outcome,
             )
         )
+        (self._c_skipped if outcome == "skipped" else self._c_cancelled).inc()
+        if self.obs is not None:
+            self.obs.on_migration(
+                self.name,
+                item,
+                self.env.now,
+                outcome,
+                max(0.0, enqueued_at - item.received_at),
+            )
 
     def __repr__(self) -> str:
         return (

@@ -56,6 +56,8 @@ class DFSClient:
         self.rng = rng or RandomSource(0)
         #: Set by the Ignem master when migration is enabled.
         self.ignem_master = None
+        #: Observability facade; ``None`` is the zero-overhead clean path.
+        self.obs = None
 
     # -- namespace operations ---------------------------------------------------
 
@@ -144,6 +146,8 @@ class DFSClient:
                 serving, reader_node, block.nbytes, tag=("read", block.block_id)
             )
             done = join_all(self.env, (handle.done, net))
+        if self.obs is not None:
+            self.obs.on_dfs_read(handle.source, serving, reader_node, block, done)
         return ClientRead(done, handle.source, serving, block)
 
     # -- writes -------------------------------------------------------------------

@@ -11,12 +11,13 @@ metrics evaluation does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import Cluster, build_paper_testbed
 from ..core.config import IgnemConfig
 from ..mapreduce.spec import EngineConfig, JobSpec
 from ..metrics.collector import MetricsCollector
+from ..obs import ObservabilityConfig
 from ..storage.device import GB
 from ..workloads import swim
 
@@ -40,9 +41,27 @@ class SwimRun:
 
 _CACHE: Dict[Tuple, SwimRun] = {}
 
+#: Optional factory ``(mode, seed, num_jobs) -> ObservabilityConfig``
+#: applied to every SWIM cluster built without an explicit
+#: ``observability`` argument (the ``--trace/--metrics-out`` CLI path).
+_OBS_FACTORY: Optional[Callable[[str, int, int], ObservabilityConfig]] = None
+
 
 def clear_cache() -> None:
     _CACHE.clear()
+
+
+def set_observability(
+    factory: Optional[Callable[[str, int, int], ObservabilityConfig]],
+) -> None:
+    """Install (or clear, with ``None``) a default observability factory.
+
+    Clears the run cache: cached runs were executed under the previous
+    setting and would otherwise be returned without emitting traces.
+    """
+    global _OBS_FACTORY
+    _OBS_FACTORY = factory
+    clear_cache()
 
 
 def prepare_swim_cluster(
@@ -52,6 +71,7 @@ def prepare_swim_cluster(
     policy: str = "smallest-job-first",
     ignem_config: Optional[IgnemConfig] = None,
     ha: bool = False,
+    observability: Optional[ObservabilityConfig] = None,
 ) -> Tuple[Cluster, List[swim.SwimJob], List[JobSpec], List[float]]:
     """Build the SWIM testbed without running it.
 
@@ -62,7 +82,14 @@ def prepare_swim_cluster(
     """
     if mode not in ("hdfs", "ignem", "ram"):
         raise ValueError(f"unknown mode {mode!r}")
-    cluster = build_paper_testbed(seed=seed, engine_config=SWIM_ENGINE)
+    if observability is None and _OBS_FACTORY is not None:
+        observability = _OBS_FACTORY(mode, seed, num_jobs)
+    overrides = {}
+    if observability is not None:
+        overrides["observability"] = observability
+    cluster = build_paper_testbed(
+        seed=seed, engine_config=SWIM_ENGINE, **overrides
+    )
     if mode == "ignem":
         config = ignem_config or IgnemConfig(buffer_capacity=16 * GB, policy=policy)
         cluster.enable_ignem(config, ha=ha)
@@ -87,14 +114,20 @@ def run_swim(
     num_jobs: int = 200,
     policy: str = "smallest-job-first",
     ignem_config: Optional[IgnemConfig] = None,
+    observability: Optional[ObservabilityConfig] = None,
 ) -> SwimRun:
     """Run the SWIM workload under one configuration (cached)."""
-    key = (mode, seed, num_jobs, policy, ignem_config)
+    key = (mode, seed, num_jobs, policy, ignem_config, observability)
     if key in _CACHE:
         return _CACHE[key]
 
     cluster, jobs, specs, arrivals = prepare_swim_cluster(
-        mode, seed=seed, num_jobs=num_jobs, policy=policy, ignem_config=ignem_config
+        mode,
+        seed=seed,
+        num_jobs=num_jobs,
+        policy=policy,
+        ignem_config=ignem_config,
+        observability=observability,
     )
     done = cluster.engine.run_workload(specs, arrivals, implicit_eviction=True)
     cluster.run(until=done)

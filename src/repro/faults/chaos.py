@@ -130,6 +130,7 @@ class ChaosRunner:
         jobs = cluster.engine.jobs
         master = cluster.ignem_master
         failovers = getattr(master, "_failovers", 0) if master is not None else 0
+        registry = cluster.metrics
         return ChaosRunResult(
             seed=seed,
             faults_applied=len(injector.applied),
@@ -137,11 +138,13 @@ class ChaosRunner:
             jobs_total=len(jobs),
             jobs_completed=sum(1 for job in jobs if job.finished_at is not None),
             jobs_failed=sum(1 for job in jobs if job.failed),
-            command_retries=master.command_retries if master is not None else 0,
-            commands_rerouted=master.commands_rerouted if master is not None else 0,
-            commands_abandoned=(
-                master.commands_abandoned if master is not None else 0
-            ),
+            command_retries=registry.counter("ignem.master.command_retries").value,
+            commands_rerouted=registry.counter(
+                "ignem.master.commands_rerouted"
+            ).value,
+            commands_abandoned=registry.counter(
+                "ignem.master.commands_abandoned"
+            ).value,
             failovers=failovers,
             sim_time=cluster.env.now,
             violations=violations,

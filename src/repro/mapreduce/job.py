@@ -51,6 +51,8 @@ class MRJob:
         use_ignem: bool = False,
         implicit_eviction: bool = True,
         extra_lead_time: float = 0.0,
+        obs=None,
+        job_id: Optional[str] = None,
     ):
         self.env = env
         self.spec = spec
@@ -61,8 +63,15 @@ class MRJob:
         self.use_ignem = use_ignem
         self.implicit_eviction = implicit_eviction
         self.extra_lead_time = float(extra_lead_time)
+        #: Observability facade; ``None`` is the zero-overhead clean path.
+        self.obs = obs
 
-        self.job_id = f"job-{next(MRJob._ids):05d}"
+        # The engine passes a per-engine id so identically seeded runs name
+        # jobs identically (trace determinism); the process-global counter
+        # only backs direct MRJob construction.
+        self.job_id = (
+            job_id if job_id is not None else f"job-{next(MRJob._ids):05d}"
+        )
         self.completed: Event = env.event()
         #: Set when the scheduler abandoned one of the job's tasks after
         #: exhausting retries (node churn).  The job still runs to
@@ -193,6 +202,8 @@ class MRJob:
                 num_reduces=self.num_reduces,
             )
         )
+        if self.obs is not None:
+            self.obs.on_job_complete(self)
         self.completed.succeed(self)
 
     # -- map side ----------------------------------------------------------------
@@ -362,6 +373,10 @@ class MRJob:
                 output_bytes=out_bytes,
             )
         )
+        if self.obs is not None:
+            self.obs.on_task_complete(
+                "map", task_id, self.job_id, node, scheduled_at
+            )
 
     def _map_output_bytes(self, block: Block) -> float:
         if self.input_bytes <= 0:
@@ -553,3 +568,7 @@ class MRJob:
                 output_bytes=out_share,
             )
         )
+        if self.obs is not None:
+            self.obs.on_task_complete(
+                "reduce", task_id, self.job_id, node, scheduled_at
+            )

@@ -28,6 +28,15 @@ class MetricsCollector:
         self.migrations: List[MigrationRecord] = []
         self.evictions: List[EvictionRecord] = []
         self.memory_samples: List[MemorySample] = []
+        # Lazy id->record indexes for the lookup helpers; rebuilt on first
+        # query after an append (experiments issue thousands of per-job
+        # lookups against thousands of records, so linear scans were
+        # quadratic in practice).  Each index remembers how many records it
+        # covered so direct list appends are detected too.
+        self._job_index: Optional[Dict[str, JobRecord]] = None
+        self._job_indexed = 0
+        self._tasks_index: Optional[Dict[str, List[TaskRecord]]] = None
+        self._tasks_indexed = 0
 
     # -- record sinks ----------------------------------------------------------
 
@@ -36,9 +45,11 @@ class MetricsCollector:
 
     def record_task(self, record: TaskRecord) -> None:
         self.tasks.append(record)
+        self._tasks_index = None
 
     def record_job(self, record: JobRecord) -> None:
         self.jobs.append(record)
+        self._job_index = None
 
     def record_migration(self, record: MigrationRecord) -> None:
         self.migrations.append(record)
@@ -52,17 +63,29 @@ class MetricsCollector:
     # -- convenience queries -------------------------------------------------
 
     def job(self, job_id: str) -> Optional[JobRecord]:
-        for record in self.jobs:
-            if record.job_id == job_id:
-                return record
-        return None
+        index = self._job_index
+        if index is None or self._job_indexed != len(self.jobs):
+            # First match wins, matching the old linear scan: keep the
+            # earliest record for a duplicated job_id.
+            index = {}
+            for record in self.jobs:
+                index.setdefault(record.job_id, record)
+            self._job_index = index
+            self._job_indexed = len(self.jobs)
+        return index.get(job_id)
 
     def tasks_for_job(self, job_id: str, kind: Optional[str] = None) -> List[TaskRecord]:
-        return [
-            t
-            for t in self.tasks
-            if t.job_id == job_id and (kind is None or t.kind == kind)
-        ]
+        index = self._tasks_index
+        if index is None or self._tasks_indexed != len(self.tasks):
+            index = {}
+            for task in self.tasks:
+                index.setdefault(task.job_id, []).append(task)
+            self._tasks_index = index
+            self._tasks_indexed = len(self.tasks)
+        tasks = index.get(job_id, [])
+        if kind is None:
+            return list(tasks)
+        return [t for t in tasks if t.kind == kind]
 
     def map_tasks(self) -> List[TaskRecord]:
         return [t for t in self.tasks if t.kind == "map"]

@@ -68,6 +68,8 @@ class Network:
         #: How long a sender waits before declaring a lost message failed.
         self.loss_detect_timeout = 1.0
         self.transfers_failed = 0
+        #: Observability facade; ``None`` is the zero-overhead clean path.
+        self.obs = None
 
     def add_node(self, node: str, bandwidth: Optional[float] = None) -> NetworkInterface:
         """Register a server; idempotent for repeated names."""
@@ -114,6 +116,13 @@ class Network:
 
     def transfer(self, src: str, dst: str, nbytes: float, tag=None) -> Event:
         """Move ``nbytes`` from ``src`` to ``dst``; returns a done event."""
+        if self.obs is not None:
+            done = self._transfer(src, dst, nbytes, tag)
+            self.obs.on_net_transfer(src, dst, nbytes, tag, done)
+            return done
+        return self._transfer(src, dst, nbytes, tag)
+
+    def _transfer(self, src: str, dst: str, nbytes: float, tag=None) -> Event:
         if nbytes < 0:
             raise ValueError(f"nbytes must be non-negative, got {nbytes}")
         if self._down and (src in self._down or dst in self._down):

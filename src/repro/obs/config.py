@@ -1,0 +1,52 @@
+"""Observability configuration, carried on the cluster config."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from .trace import DEFAULT_CATEGORIES
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """How (and whether) a cluster run is instrumented.
+
+    Disabled by default: the clean path takes no tracer allocations, no
+    per-event callbacks, and produces bit-identical outputs to a build
+    without the observability layer.  The shared
+    :class:`~repro.obs.registry.MetricsRegistry` always exists (counter
+    bumps are a few nanoseconds and never touch simulation time), but
+    tracing, span callbacks, and snapshot/trace files are all opt-in.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch for tracing instrumentation.
+    categories:
+        Trace categories to record (see
+        :data:`~repro.obs.trace.ALL_CATEGORIES`).  The default set covers
+        every application layer; the "sim" kernel category is opt-in via
+        ``sim_events`` because it scales with raw event-dispatch volume.
+    sim_events:
+        Also trace the simulation kernel (event dispatches and process
+        wakeups).  Expensive; for debugging the simulator itself.
+    trace_path:
+        When set, :meth:`repro.cluster.Cluster.run` writes the JSONL
+        trace here after the run.
+    metrics_path:
+        When set, :meth:`repro.cluster.Cluster.run` writes the metrics
+        snapshot (JSON) here after the run.
+    """
+
+    enabled: bool = False
+    categories: FrozenSet[str] = DEFAULT_CATEGORIES
+    sim_events: bool = False
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+
+    def effective_categories(self) -> FrozenSet[str]:
+        cats = frozenset(self.categories)
+        if self.sim_events:
+            cats = cats | {"sim"}
+        return cats

@@ -1,0 +1,244 @@
+"""Central metrics registry: named counters, gauges, and histograms.
+
+Every subsystem reports into one :class:`MetricsRegistry` under a
+``component.event`` naming scheme (``ignem.master.commands_sent``,
+``scheduler.queue_wait_seconds``, ...).  The registry is passive — it
+never touches simulation time — and deterministic: snapshots are sorted
+by name, so two runs with the same seed serialize byte-identically.
+
+Three instrument kinds:
+
+* :class:`Counter` — a monotonically increasing event count;
+* :class:`Gauge` — a settable level (also usable as an up/down counter);
+* :class:`Histogram` — count/sum/min/max plus fixed-boundary buckets.
+
+Pull metrics (:meth:`MetricsRegistry.register_pull`) let existing ad-hoc
+tallies (``ResourceManager.tasks_launched``, device byte totals, cache
+hit counts) surface in the same snapshot without touching hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+#: Instrument names must follow the ``component.event`` scheme: lowercase
+#: dotted segments of ``[a-z0-9_]``.
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+#: Default histogram bucket boundaries, in the unit being observed
+#: (seconds for every latency histogram in this package).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.01,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+    300.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name {name!r} does not follow the 'component.event' "
+            "scheme (lowercase dotted segments of [a-z0-9_])"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up; got inc({n})")
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A level that can move both ways (queue depths, resident bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.value -= n
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """A fixed-boundary histogram with count/sum/min/max.
+
+    ``buckets[i]`` counts observations ``<= bounds[i]``; the final bucket
+    counts everything above the last boundary.  Boundaries are fixed at
+    creation so two runs produce structurally identical snapshots.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS):
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must ascend, got {bounds}")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        # bisect_left returns the first bucket whose bound >= value
+        # (i.e. "value <= bound"), or len(bounds) for the overflow bucket.
+        self.buckets[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name} has no observations")
+        return self.total / self.count
+
+    def snapshot(self) -> Dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    The registry is shared: the cluster owns one and hands it to every
+    subsystem, so a single :meth:`snapshot` covers the whole run.  Two
+    components asking for the same name share the instrument (this is how
+    an HA master pair naturally sums into one cluster-wide counter).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._pulls: Dict[str, Callable[[], float]] = {}
+
+    # -- instrument factories --------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[_check_name(name)] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[_check_name(name)] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[_check_name(name)] = Histogram(
+                name, bounds
+            )
+        return instrument
+
+    def register_pull(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a zero-overhead pull metric, evaluated at snapshot
+        time.  Lets pre-existing ad-hoc tallies surface in the unified
+        snapshot without instrumenting their hot paths."""
+        self._pulls[_check_name(name)] = fn
+
+    # -- queries ----------------------------------------------------------------
+
+    def value(self, name: str) -> float:
+        """Current value of a counter, gauge, or pull metric."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        if name in self._pulls:
+            return self._pulls[name]()
+        raise KeyError(f"no counter, gauge, or pull metric named {name!r}")
+
+    def names(self) -> List[str]:
+        return sorted(
+            set(self._counters)
+            | set(self._gauges)
+            | set(self._histograms)
+            | set(self._pulls)
+        )
+
+    def snapshot(self) -> Dict:
+        """Deterministic full dump: all instruments, sorted by name."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "pulls": {name: self._pulls[name]() for name in sorted(self._pulls)},
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def write(self, path) -> pathlib.Path:
+        """Write the snapshot as pretty-printed JSON; returns the path."""
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+        )
+        return target
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)} "
+            f"pulls={len(self._pulls)}>"
+        )

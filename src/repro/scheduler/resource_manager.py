@@ -107,6 +107,8 @@ class ResourceManager:
         self.tasks_finished = 0
         self.tasks_retried = 0
         self.tasks_abandoned = 0
+        #: Observability facade; ``None`` is the zero-overhead clean path.
+        self.obs = None
 
     # -- cluster membership -------------------------------------------------------
 
@@ -256,6 +258,8 @@ class ResourceManager:
                 break
             self._dequeue(task)
             self.tasks_launched += 1
+            if self.obs is not None:
+                self.obs.on_task_launch(task, node.name)
             node.launch(task)
 
     def on_task_finished(self, task: TaskRequest, node: NodeManager) -> None:

@@ -36,7 +36,7 @@ class Environment:
     ``events.PRIORITY_SHIFT``).
     """
 
-    __slots__ = ("now", "_queue", "_eid", "_active_process")
+    __slots__ = ("now", "_queue", "_eid", "_active_process", "monitor")
 
     def __init__(self, initial_time: float = 0.0):
         #: Current simulation time.  A plain attribute (not a property):
@@ -46,6 +46,11 @@ class Environment:
         self._queue: list = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Optional kernel monitor ``(when, event, callbacks) -> None``,
+        #: called once per dispatched event.  ``None`` keeps the run loop
+        #: on the untouched fast path; the observability layer installs
+        #: one only when the "sim" trace category is enabled.
+        self.monitor: Optional[Any] = None
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -112,6 +117,8 @@ class Environment:
         callbacks = event.callbacks
         event._processed = True
         event.callbacks = None
+        if self.monitor is not None:
+            self.monitor(when, event, callbacks)
         for callback in callbacks:
             callback(event)
 
@@ -168,23 +175,42 @@ class Environment:
             gc.disable()
         # The run loop inlines step(): one Python-level call per event is
         # measurable at the millions-of-events scale of a SWIM run.  The
-        # body must stay semantically identical to step().
+        # body must stay semantically identical to step().  The monitored
+        # variant duplicates the loop rather than branching inside it so
+        # the clean path pays nothing for observability.
         queue = self._queue
         pop = heappop
+        monitor = self.monitor
         try:
-            while True:
-                try:
-                    when, _, event = pop(queue)
-                except IndexError:
-                    raise EmptySchedule() from None
-                self.now = when
-                callbacks = event.callbacks
-                event._processed = True
-                event.callbacks = None
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not callbacks:
-                    raise event._value
+            if monitor is None:
+                while True:
+                    try:
+                        when, _, event = pop(queue)
+                    except IndexError:
+                        raise EmptySchedule() from None
+                    self.now = when
+                    callbacks = event.callbacks
+                    event._processed = True
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not callbacks:
+                        raise event._value
+            else:
+                while True:
+                    try:
+                        when, _, event = pop(queue)
+                    except IndexError:
+                        raise EmptySchedule() from None
+                    self.now = when
+                    callbacks = event.callbacks
+                    event._processed = True
+                    event.callbacks = None
+                    monitor(when, event, callbacks)
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not callbacks:
+                        raise event._value
         except StopSimulation as end:
             return end.args[0] if end.args else None
         except EmptySchedule:

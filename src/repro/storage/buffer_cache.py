@@ -74,6 +74,10 @@ class BufferCache:
         #: key becomes resident or stops being resident (including LRU
         #: evictions and flush_all).  Feeds the memory-locality index.
         self.on_residency_change: Optional[Callable[[Hashable, bool], None]] = None
+        #: Trace hook ``(op, key, nbytes) -> None`` with op "insert" or
+        #: "evict"; ``None`` is the zero-overhead clean path (set by the
+        #: observability layer when storage tracing is enabled).
+        self.on_event: Optional[Callable[[str, Hashable, float], None]] = None
 
         # Counters for tests/metrics.
         self.hits = 0
@@ -147,6 +151,8 @@ class BufferCache:
         callback = self.on_residency_change
         if callback is not None:
             callback(key, True)
+        if self.on_event is not None:
+            self.on_event("insert", key, nbytes)
         return True
 
     def pin(self, key: Hashable) -> bool:
@@ -185,6 +191,8 @@ class BufferCache:
         callback = self.on_residency_change
         if callback is not None:
             callback(key, False)
+        if self.on_event is not None:
+            self.on_event("evict", key, entry.nbytes)
         return True
 
     def flush_all(self) -> None:

@@ -158,6 +158,10 @@ class TransferDevice:
         # Instrumentation integrals.
         self._busy_time = 0.0
         self._bytes_moved = 0.0
+        #: Completion hook ``(Transfer) -> None``, fired per successful
+        #: transfer.  ``None`` is the zero-overhead clean path; the
+        #: observability layer installs one when storage tracing is on.
+        self.on_complete: Optional[Callable[[Transfer], None]] = None
 
     # -- public API ----------------------------------------------------------
 
@@ -295,6 +299,8 @@ class TransferDevice:
         if record.remaining <= _EPSILON_BYTES:
             self._active.remove(record)
             record.done.succeed(record)
+            if self.on_complete is not None:
+                self.on_complete(record)
             return
         self._reschedule()
 
@@ -424,9 +430,12 @@ class TransferDevice:
         # Reschedule *before* succeeding the events: completion callbacks
         # may start new transfers on this device synchronously.
         self._reschedule()
+        hook = self.on_complete
         for record in finished:
             record.remaining = 0.0
             record.done.succeed(record)
+            if hook is not None:
+                hook(record)
 
     def __repr__(self) -> str:
         return (

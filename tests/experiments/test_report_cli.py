@@ -90,3 +90,66 @@ class TestCli:
         out = capsys.readouterr().out
         assert "function calls" in out
         assert "tottime" in out
+
+    def test_shared_parent_parser_covers_out_and_seed(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "fig3", "--out", "o", "--seed", "7"],
+            ["all", "--out", "o", "--seed", "7"],
+            ["trace", "swim-ignem", "--out", "o", "--seed", "7"],
+            ["profile", "--out", "o", "--seed", "7"],
+            ["chaos", "--out", "o", "--seed", "7"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.out == "o"
+            assert args.seed == 7
+
+    def test_trace_command_writes_validated_trace(self, tmp_path, capsys):
+        code = main(
+            [
+                "trace",
+                "swim-ignem",
+                "--out",
+                str(tmp_path),
+                "--num-jobs",
+                "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        trace = tmp_path / "swim-ignem_ignem.trace.jsonl"
+        assert trace.exists()
+        assert (tmp_path / "swim-ignem_ignem.metrics.json").exists()
+        from repro.obs import validate_trace
+
+        assert validate_trace(trace) == []
+
+    def test_trace_unknown_experiment_fails_cleanly(self, tmp_path, capsys):
+        code = main(["trace", "fig99", "--out", str(tmp_path)])
+        assert code == 2
+        assert "not traceable" in capsys.readouterr().err
+
+    def test_run_with_trace_flags_writes_swim_traces(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "fig7",
+                "--out",
+                str(tmp_path / "out"),
+                "--trace",
+                str(tmp_path / "traces"),
+                "--metrics-out",
+                str(tmp_path / "metrics"),
+            ]
+        )
+        assert code == 0
+        traces = list((tmp_path / "traces").glob("*.trace.jsonl"))
+        metrics = list((tmp_path / "metrics").glob("*.metrics.json"))
+        assert traces and metrics
+        from repro.experiments import swim_runs
+        from repro.obs import validate_trace
+
+        assert swim_runs._OBS_FACTORY is None  # restored after the run
+        for trace in traces:
+            assert validate_trace(trace) == []

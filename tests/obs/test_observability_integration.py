@@ -1,0 +1,180 @@
+"""End-to-end observability: determinism, zero overhead, counter truth."""
+
+import collections
+import json
+
+import pytest
+
+from repro import IgnemConfig, ObservabilityConfig, build_paper_testbed
+from repro.experiments.swim_runs import prepare_swim_cluster
+from repro.obs import validate_trace
+from repro.storage import GB, MB
+
+
+def _run_swim_traced(tmp_path, label, num_jobs=6, seed=3):
+    """One small traced SWIM run; returns (cluster, trace path)."""
+    trace_path = tmp_path / f"{label}.jsonl"
+    config = ObservabilityConfig(enabled=True, trace_path=str(trace_path))
+    cluster, _, specs, arrivals = prepare_swim_cluster(
+        "ignem", seed=seed, num_jobs=num_jobs, observability=config
+    )
+    done = cluster.engine.run_workload(specs, arrivals, implicit_eviction=True)
+    cluster.run(until=done)
+    return cluster, trace_path
+
+
+def _job_outcomes(cluster):
+    return [
+        (record.job_id, record.submitted_at, record.end)
+        for record in cluster.collector.jobs
+    ]
+
+
+class TestTraceDeterminism:
+    def test_same_seed_emits_byte_identical_jsonl(self, tmp_path):
+        _, first = _run_swim_traced(tmp_path, "first")
+        _, second = _run_swim_traced(tmp_path, "second")
+        assert first.read_bytes() == second.read_bytes()
+        assert first.stat().st_size > 0
+
+    def test_emitted_trace_validates_against_schema(self, tmp_path):
+        _, path = _run_swim_traced(tmp_path, "validated")
+        assert validate_trace(path) == []
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_disabled_by_default_and_writes_nothing(self, tmp_path):
+        cluster = build_paper_testbed(seed=3)
+        assert cluster.config.observability.enabled is False
+        assert cluster.obs.active is False
+        cluster.client.create_file("/f", 128 * MB)
+        cluster.run()
+        assert cluster.obs.tracer is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_tracing_never_changes_simulation_outcomes(self, tmp_path):
+        traced, _ = _run_swim_traced(tmp_path, "obs-on")
+
+        plain, _, specs, arrivals = prepare_swim_cluster(
+            "ignem", seed=3, num_jobs=6
+        )
+        done = plain.engine.run_workload(
+            specs, arrivals, implicit_eviction=True
+        )
+        plain.run(until=done)
+
+        assert plain.obs.active is False
+        assert _job_outcomes(plain) == _job_outcomes(traced)
+        assert plain.env.now == traced.env.now
+        assert json.dumps(plain.collector.summary(), sort_keys=True) == (
+            json.dumps(traced.collector.summary(), sort_keys=True)
+        )
+
+
+class _DropFirst:
+    def __init__(self, n):
+        self.remaining = n
+
+    def __call__(self, node):
+        if self.remaining > 0:
+            self.remaining -= 1
+            return "lost"
+        return None
+
+
+def _small_ignem_cluster(ha=False, **ignem_kwargs):
+    cluster = build_paper_testbed(num_nodes=4, replication=2, seed=13)
+    ignem_kwargs.setdefault("buffer_capacity", 1 * GB)
+    ignem_kwargs.setdefault("rpc_latency", 0.002)
+    cluster.enable_ignem(IgnemConfig(**ignem_kwargs), ha=ha)
+    return cluster
+
+
+class TestCounterCorrectness:
+    def test_migration_and_eviction_counters_match_collector(self, tmp_path):
+        cluster, _ = _run_swim_traced(tmp_path, "counted")
+        registry = cluster.metrics
+        collector = cluster.collector
+
+        completed = len(collector.completed_migrations())
+        assert completed > 0
+        assert registry.value("ignem.slave.migrations_completed") == completed
+        assert registry.histogram(
+            "ignem.slave.migration_seconds"
+        ).count == completed
+        assert registry.histogram(
+            "ignem.slave.queue_wait_seconds"
+        ).count >= completed
+
+        by_reason = collections.Counter(
+            record.reason for record in collector.evictions
+        )
+        assert by_reason  # the workload evicts at least once
+        for reason, count in by_reason.items():
+            assert (
+                registry.value(f"ignem.slave.evictions.{reason}") == count
+            ), reason
+
+    def test_command_retry_counter_counts_lost_sends(self):
+        cluster = _small_ignem_cluster()
+        master = cluster.ignem_master
+        master.rpc_fault = _DropFirst(1)
+        cluster.rm.register_job("j1")
+        cluster.client.create_file("/f", 128 * MB)
+        master.request_migration(["/f"], "j1")
+        cluster.run()
+
+        assert cluster.metrics.value("ignem.master.command_retries") == 1
+        assert cluster.metrics.value("ignem.master.commands_sent") >= 1
+
+
+class TestDeprecatedViews:
+    def test_master_attrs_warn_and_agree_with_registry(self):
+        cluster = _small_ignem_cluster()
+        master = cluster.ignem_master
+        master.rpc_fault = _DropFirst(2)
+        cluster.rm.register_job("j1")
+        cluster.client.create_file("/f", 256 * MB)
+        master.request_migration(["/f"], "j1")
+        cluster.run()
+
+        registry = cluster.metrics
+        for attr, metric in (
+            ("commands_sent", "ignem.master.commands_sent"),
+            ("command_retries", "ignem.master.command_retries"),
+            ("commands_rerouted", "ignem.master.commands_rerouted"),
+            ("commands_abandoned", "ignem.master.commands_abandoned"),
+            ("migration_requests", "ignem.master.migration_requests"),
+            ("eviction_requests", "ignem.master.eviction_requests"),
+        ):
+            with pytest.warns(DeprecationWarning):
+                old_value = getattr(master, attr)
+            assert old_value == registry.value(metric), attr
+        assert registry.value("ignem.master.command_retries") == 2
+
+    def test_ha_pair_attrs_warn_and_agree_with_shared_registry(self):
+        cluster = _small_ignem_cluster(ha=True)
+        pair = cluster.ignem_master
+        cluster.rm.register_job("j1")
+        cluster.client.create_file("/f", 256 * MB)
+        pair.request_migration(["/f"], "j1")
+        cluster.run()
+        pair.fail_primary()
+        cluster.rm.register_job("j2")
+        cluster.client.create_file("/g", 128 * MB)
+        pair.request_migration(["/g"], "j2")
+        cluster.run()
+
+        registry = cluster.metrics
+        assert registry is pair.metrics
+        for attr, metric in (
+            ("commands_sent", "ignem.master.commands_sent"),
+            ("command_retries", "ignem.master.command_retries"),
+            ("commands_rerouted", "ignem.master.commands_rerouted"),
+            ("commands_abandoned", "ignem.master.commands_abandoned"),
+        ):
+            with pytest.warns(DeprecationWarning):
+                old_value = getattr(pair, attr)
+            assert old_value == registry.value(metric), attr
+        with pytest.warns(DeprecationWarning):
+            assert pair.commands_sent > 0

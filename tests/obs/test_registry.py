@@ -1,0 +1,108 @@
+"""MetricsRegistry unit tests: instruments, naming, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = MetricsRegistry().counter("a.b")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("a.b")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("a.b")
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+
+class TestHistogram:
+    def test_buckets_count_and_stats(self):
+        hist = MetricsRegistry().histogram("a.b", bounds=(1.0, 10.0))
+        for value in (0.5, 0.9, 5.0, 100.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.buckets == [2, 1, 1]
+        assert hist.min == 0.5
+        assert hist.max == 100.0
+        assert hist.mean == pytest.approx((0.5 + 0.9 + 5.0 + 100.0) / 4)
+
+    def test_mean_requires_observations(self):
+        hist = MetricsRegistry().histogram("a.b")
+        with pytest.raises(ValueError):
+            hist.mean
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("a.b", bounds=(2.0, 1.0))
+
+    def test_default_buckets_ascend(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_shares_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x.y") is registry.counter("x.y")
+        assert registry.gauge("x.z") is registry.gauge("x.z")
+        assert registry.histogram("x.h") is registry.histogram("x.h")
+
+    @pytest.mark.parametrize(
+        "bad", ["flat", "Upper.case", "a.", ".b", "a..b", "a b.c", ""]
+    )
+    def test_rejects_names_outside_component_event_scheme(self, bad):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter(bad)
+
+    def test_pull_metric_evaluated_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"n": 1}
+        registry.register_pull("x.pull", lambda: state["n"])
+        assert registry.value("x.pull") == 1
+        state["n"] = 7
+        assert registry.snapshot()["pulls"]["x.pull"] == 7
+
+    def test_value_lookup_and_unknown_name(self):
+        registry = MetricsRegistry()
+        registry.counter("a.c").inc(2)
+        registry.gauge("a.g").set(3.0)
+        assert registry.value("a.c") == 2
+        assert registry.value("a.g") == 3.0
+        with pytest.raises(KeyError):
+            registry.value("a.missing")
+
+    def test_snapshot_is_sorted_and_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("z.last").inc()
+            registry.counter("a.first").inc(2)
+            registry.histogram("m.h").observe(0.2)
+            return registry
+
+        snap_a, snap_b = build().snapshot(), build().snapshot()
+        assert snap_a == snap_b
+        assert list(snap_a["counters"]) == ["a.first", "z.last"]
+        assert json.dumps(snap_a, sort_keys=True) == json.dumps(
+            snap_b, sort_keys=True
+        )
+
+    def test_write_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc(3)
+        path = registry.write(tmp_path / "metrics.json")
+        assert json.loads(path.read_text())["counters"]["a.b"] == 3
