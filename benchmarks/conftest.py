@@ -8,8 +8,13 @@ rows survive output capture.
 """
 
 import pathlib
+import sys
 
 import pytest
+
+# benchmarks/ is a rootdir-less pytest dir: only this directory lands on
+# sys.path.  Add the repo root so benchmarks can share tests.fixtures.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 

@@ -10,19 +10,17 @@ already did) read, wasting disk bandwidth.
 import pytest
 
 from repro.core import IgnemConfig
-from repro.experiments import run_sort_once
-from repro.cluster import build_paper_testbed
 from repro.storage import GB
-from repro.workloads.sort import make_sort_spec, materialize
+from repro.workloads.sort import make_sort_spec
 
 from conftest import run_once
+from tests.fixtures import make_sort_bench_cluster
 
 
 def _run(reverse: bool):
-    cluster = build_paper_testbed(
-        seed=0, ignem=True, ignem_config=IgnemConfig(reverse_within_job=reverse)
+    cluster = make_sort_bench_cluster(
+        ignem_config=IgnemConfig(reverse_within_job=reverse)
     )
-    materialize(cluster, 20 * GB)
     job = cluster.engine.submit_job(make_sort_spec(20 * GB))
     cluster.run()
     collector = cluster.collector

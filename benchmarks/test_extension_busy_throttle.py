@@ -8,21 +8,18 @@ forfeits migration opportunity.
 
 import pytest
 
-from repro.cluster import build_paper_testbed
 from repro.core import IgnemConfig
 from repro.storage import GB
-from repro.workloads.sort import make_sort_spec, materialize
+from repro.workloads.sort import make_sort_spec
 
 from conftest import run_once
+from tests.fixtures import make_sort_bench_cluster
 
 
 def _run(busy_threshold):
-    cluster = build_paper_testbed(
-        seed=0,
-        ignem=True,
-        ignem_config=IgnemConfig(busy_threshold=busy_threshold),
+    cluster = make_sort_bench_cluster(
+        ignem_config=IgnemConfig(busy_threshold=busy_threshold)
     )
-    materialize(cluster, 20 * GB)
     job = cluster.engine.submit_job(make_sort_spec(20 * GB))
     cluster.run()
     collector = cluster.collector

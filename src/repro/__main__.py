@@ -9,6 +9,8 @@ Usage::
     python -m repro trace swim-ignem --out results/ --num-jobs 40
     python -m repro profile --mode ignem --num-jobs 200 --top 30
     python -m repro chaos --seeds 10
+    python -m repro dst --runs 25 --seed 0
+    python -m repro dst --replay tests/dst/corpus
 
 Every subcommand shares the ``--out``/``--seed`` pair (one parent
 parser), and observability is exposed uniformly: ``--trace`` /
@@ -149,6 +151,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="distinct nodes each schedule may crash",
     )
+
+    dst = sub.add_parser(
+        "dst",
+        parents=[common],
+        help="deterministic simulation testing: fuzz, shrink, replay",
+        description=(
+            "Generate seeded random scenarios (cluster config x workload "
+            "mix x fault schedule), run each against the real system with "
+            "a differential reference model of the Ignem master plus "
+            "end-of-run invariant oracles, and on failure shrink the "
+            "scenario to a minimal reproducer under --out.  With --replay, "
+            "re-judge saved corpus scenarios instead.  Exits 1 on any "
+            "violation."
+        ),
+    )
+    dst.add_argument(
+        "--runs", type=int, default=25, help="scenarios to generate"
+    )
+    dst.add_argument(
+        "--replay",
+        metavar="PATH",
+        nargs="+",
+        default=None,
+        help="replay saved scenario JSON files (or directories of them)",
+    )
+    dst.add_argument(
+        "--sabotage",
+        default=None,
+        choices=("evict-to-admit", "fifo-queue", "overcommit-buffer"),
+        help="plant a bug in the live system (harness self-test)",
+    )
+    dst.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="keep the first failing scenario as-is",
+    )
+    dst.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the dst.* metrics-registry snapshot to FILE",
+    )
     return parser
 
 
@@ -182,6 +226,34 @@ def run_chaos(args) -> int:
     )
     report = runner.sweep(seeds=args.seeds, base_seed=args.seed)
     print(report.format())
+    return 0 if report.ok else 1
+
+
+def run_dst(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .dst import DstRunner, corpus_paths
+
+    runner = DstRunner(seed=args.seed, sabotage=args.sabotage)
+    if args.replay:
+        paths = []
+        for entry in args.replay:
+            path = Path(entry)
+            paths.extend(corpus_paths(path) if path.is_dir() else [path])
+        report = runner.replay(paths)
+    else:
+        report = runner.fuzz(args.runs, shrink=not args.no_shrink)
+        runner.write_artifact(report, Path(args.out))
+    print(report.format())
+    if args.metrics_out:
+        snapshot_path = Path(args.metrics_out)
+        snapshot_path.parent.mkdir(parents=True, exist_ok=True)
+        snapshot_path.write_text(
+            json.dumps(runner.registry.snapshot(), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"metrics snapshot written to {snapshot_path}")
     return 0 if report.ok else 1
 
 
@@ -224,6 +296,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_chaos(args)
     if args.command == "trace":
         return run_trace(args)
+    if args.command == "dst":
+        return run_dst(args)
 
     names = None if args.command == "all" else args.experiments
     try:

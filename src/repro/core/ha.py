@@ -149,6 +149,17 @@ class HighAvailabilityMaster:
         self.primary.rpc_fault = hook
         self.standby.rpc_fault = hook
 
+    @property
+    def command_tap(self):
+        """Command-boundary tap, mirrored onto both masters so the DST
+        differential checker sees deliveries across failovers."""
+        return self.primary.command_tap
+
+    @command_tap.setter
+    def command_tap(self, tap) -> None:
+        self.primary.command_tap = tap
+        self.standby.command_tap = tap
+
     # Deprecated pair-summed counter views (PR 2 surface).
     commands_sent = _deprecated_pair_counter(
         "commands_sent", "ignem.master.commands_sent"

@@ -78,6 +78,12 @@ class IgnemMaster:
         #: node per delivery attempt; returning ``"lost"`` drops that
         #: attempt.  ``None`` is the zero-overhead clean path.
         self.rpc_fault: Optional[Callable[[str], Optional[str]]] = None
+        #: Command-boundary tap (set by the DST differential checker):
+        #: called as ``tap(node, kind, command, slave)`` after every
+        #: *accepted* delivery, i.e. at the exact boundary where the
+        #: slave's synchronous state change (reference-list update, queue
+        #: insert) has just happened.  ``None`` is the clean path.
+        self.command_tap: Optional[Callable] = None
         #: Observability facade; ``None`` is the zero-overhead clean path.
         self.obs = None
 
@@ -276,8 +282,12 @@ class IgnemMaster:
     def _deliver(self, node: str, kind: str, command) -> bool:
         slave = self._slaves[node]
         if kind == "migrate":
-            return slave.receive_migrate(command)
-        return slave.receive_evict(command)
+            accepted = slave.receive_migrate(command)
+        else:
+            accepted = slave.receive_evict(command)
+        if accepted and self.command_tap is not None:
+            self.command_tap(node, kind, command, slave)
+        return accepted
 
     def _rpc(self, node: str, kind: str, command, tried: FrozenSet[str]):
         cfg = self.config

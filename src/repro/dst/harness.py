@@ -1,0 +1,262 @@
+"""Run one DST scenario against the real system and judge it.
+
+The harness is the glue between the three existing subsystems: it builds
+a :class:`~repro.cluster.Cluster` from a :class:`Scenario`, arms the
+PR 2 :class:`~repro.faults.injector.FaultInjector` with the scenario's
+fault plan, hooks the differential checker onto the master's command
+boundary, runs the workload to full drain with "ignem"-category tracing
+live, and evaluates every oracle over the leftovers.
+
+``apply_sabotage`` deliberately breaks a live cluster (flip the
+do-not-harm flag, swap the queue policy, raise the real buffer cap) for
+harness self-tests: a testing subsystem that cannot convict a planted
+bug proves nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster import Cluster, ClusterConfig
+from ..core.config import IgnemConfig
+from ..core.policy import make_policy
+from ..faults.injector import FaultInjector
+from ..mapreduce.spec import EngineConfig, JobSpec
+from ..obs import ObservabilityConfig
+from ..storage.device import MB
+from .model import DifferentialChecker
+from .oracles import OracleContext, OracleReport, run_oracles
+from .scenario import Scenario
+
+#: Sabotage modes for harness self-tests (see ``apply_sabotage``).
+SABOTAGE_MODES = ("evict-to-admit", "fifo-queue", "overcommit-buffer")
+
+#: SWIM-style IO movers: modest per-byte compute (matches swim_runs).
+_MAP_CPU_FACTOR = 0.25
+_REDUCE_CPU_FACTOR = 0.5
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one judged scenario run leaves behind."""
+
+    scenario: Scenario
+    #: (oracle name, message) for every violated expectation.
+    violations: List[Tuple[str, str]]
+    reports: List[OracleReport]
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format_violations(self, limit: int = 10) -> str:
+        lines = [
+            f"  [{oracle}] {message}"
+            for oracle, message in self.violations[:limit]
+        ]
+        hidden = len(self.violations) - limit
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more")
+        return "\n".join(lines)
+
+
+def build_cluster(scenario: Scenario) -> Tuple[Cluster, DifferentialChecker]:
+    """Assemble the live system a scenario describes (not yet running)."""
+    cluster = Cluster(
+        ClusterConfig(
+            num_nodes=scenario.num_nodes,
+            slots_per_node=scenario.slots_per_node,
+            block_size=scenario.block_size,
+            replication=scenario.replication,
+            seed=scenario.seed,
+            engine=EngineConfig(output_replication=1),
+            observability=ObservabilityConfig(
+                enabled=True, categories=("ignem",)
+            ),
+        )
+    )
+    cluster.enable_ignem(
+        IgnemConfig(
+            buffer_capacity=scenario.buffer_capacity,
+            policy=scenario.policy,
+            do_not_harm=scenario.do_not_harm,
+            migration_concurrency=1,
+        ),
+        ha=scenario.ha,
+    )
+    cluster.enable_rereplication()
+
+    checker = DifferentialChecker(scenario.policy, replicas_to_migrate=1)
+    cluster.ignem_master.command_tap = checker.on_delivery
+
+    for path, nbytes in sorted(scenario.input_files().items()):
+        cluster.client.create_file(path, nbytes)
+    return cluster, checker
+
+
+def apply_sabotage(cluster: Cluster, mode: str) -> None:
+    """Break the live cluster on purpose (harness self-test).
+
+    * ``evict-to-admit`` — flip the shared (frozen) config's
+      ``do_not_harm`` off, so full buffers evict migrated blocks of
+      larger jobs to admit new ones: the III-A3 violation the oracles
+      must convict from the scenario's declared guarantee.
+    * ``fifo-queue`` — swap every slave's queue policy to FIFO while the
+      scenario declares smallest-job-first: an ordering bug for the
+      differential model.
+    * ``overcommit-buffer`` — quadruple the *real* buffer cap behind the
+      scenario's back: usage may exceed the declared cap.
+    """
+    if mode not in SABOTAGE_MODES:
+        raise ValueError(
+            f"unknown sabotage {mode!r}; choose from {SABOTAGE_MODES}"
+        )
+    config = next(iter(cluster.ignem_slaves.values())).config
+    if mode == "evict-to-admit":
+        object.__setattr__(config, "do_not_harm", False)
+    elif mode == "fifo-queue":
+        for slave in cluster.ignem_slaves.values():
+            slave.policy = make_policy("fifo")
+    else:  # overcommit-buffer
+        object.__setattr__(
+            config, "buffer_capacity", config.buffer_capacity * 4
+        )
+
+
+def scenario_specs(scenario: Scenario) -> Tuple[List[JobSpec], List[float]]:
+    """Engine job specs + arrival times for a scenario's workload."""
+    specs = []
+    arrivals = []
+    for job in scenario.jobs:
+        num_reduces = max(
+            1, min(16, int(job.shuffle_bytes // (128 * MB)) + 1)
+        )
+        specs.append(
+            JobSpec(
+                name=job.name,
+                input_paths=(job.input_path,),
+                shuffle_bytes=job.shuffle_bytes,
+                output_bytes=job.output_bytes,
+                num_reduces=num_reduces,
+                map_cpu_factor=_MAP_CPU_FACTOR,
+                reduce_cpu_factor=_REDUCE_CPU_FACTOR,
+            )
+        )
+        arrivals.append(job.arrival)
+    return specs, arrivals
+
+
+def _fault_timelines(
+    injector: FaultInjector, cluster: Cluster, ha: bool
+) -> Tuple[List[Tuple[float, str]], Dict[str, List[Tuple[float, float]]]]:
+    """Derive queue-purge instants and server outage windows from the
+    faults actually applied (crashes purge one slave; a master failover
+    with HA, or a cold master restart without, purges every slave)."""
+    purges: List[Tuple[float, str]] = []
+    down_windows: Dict[str, List[Tuple[float, float]]] = {}
+    open_outage: Dict[str, float] = {}
+    all_nodes = sorted(cluster.ignem_slaves)
+    for when, event in injector.applied:
+        if event.kind == "crash":
+            purges.append((when, event.target))
+            open_outage[event.target] = when
+        elif event.kind == "restart":
+            down_at = open_outage.pop(event.target, None)
+            if down_at is not None:
+                down_windows.setdefault(event.target, []).append(
+                    (down_at, when)
+                )
+        elif event.kind == "master_fail" and ha:
+            purges.extend((when, node) for node in all_nodes)
+        elif event.kind == "master_recover" and not ha:
+            purges.extend((when, node) for node in all_nodes)
+    for node, down_at in open_outage.items():
+        down_windows.setdefault(node, []).append((down_at, float("inf")))
+    return purges, down_windows
+
+
+def run_scenario(
+    scenario: Scenario, sabotage: Optional[str] = None
+) -> ScenarioResult:
+    """Build, fault, run to full drain, and judge one scenario."""
+    cluster, checker = build_cluster(scenario)
+    if sabotage is not None:
+        apply_sabotage(cluster, sabotage)
+
+    injector = FaultInjector(cluster, scenario.fault_schedule())
+    injector.start()
+
+    specs, arrivals = scenario_specs(scenario)
+    cluster.engine.run_workload(
+        specs, arrivals, implicit_eviction=scenario.implicit_eviction
+    )
+    # Full drain (no `until`): every retry, re-replication copy, restart,
+    # and straggling migration settles before judgment.
+    cluster.run()
+
+    # Forced liveness sweep (III-A4), as the chaos runner does: settle
+    # references the periodic sweeps have not reclaimed yet.
+    for slave in cluster.ignem_slaves.values():
+        if slave.alive:
+            slave.cleanup_dead_jobs(force=True)
+
+    trace_events = [
+        json.loads(line) for line in cluster.obs.tracer.lines()
+    ]
+    lanes = {
+        event["tid"]: event["args"]["name"]
+        for event in trace_events
+        if event.get("ph") == "M" and event.get("name") == "thread_name"
+    }
+    purges, down_windows = _fault_timelines(injector, cluster, scenario.ha)
+
+    context = OracleContext(
+        scenario=scenario,
+        cluster=cluster,
+        checker=checker,
+        injector=injector,
+        trace_events=trace_events,
+        lanes=lanes,
+        purges=purges,
+        down_windows=down_windows,
+    )
+    reports = run_oracles(context)
+    violations = [
+        (report.name, message)
+        for report in reports
+        for message in report.violations
+    ]
+
+    jobs = cluster.engine.jobs
+    registry = cluster.metrics
+    stats = {
+        "jobs_total": len(jobs),
+        "jobs_completed": sum(
+            1 for job in jobs if job.finished_at is not None
+        ),
+        "jobs_failed": sum(1 for job in jobs if job.failed),
+        "faults_applied": len(injector.applied),
+        "command_retries": registry.counter(
+            "ignem.master.command_retries"
+        ).value,
+        "commands_rerouted": registry.counter(
+            "ignem.master.commands_rerouted"
+        ).value,
+        "commands_abandoned": registry.counter(
+            "ignem.master.commands_abandoned"
+        ).value,
+        "migrations_completed": registry.counter(
+            "ignem.slave.migrations_completed"
+        ).value,
+        "trace_events": len(trace_events),
+        "sim_time": cluster.env.now,
+    }
+    return ScenarioResult(
+        scenario=scenario,
+        violations=violations,
+        reports=reports,
+        stats=stats,
+    )

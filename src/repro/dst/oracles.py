@@ -1,0 +1,312 @@
+"""End-of-run invariant oracles over a finished DST scenario.
+
+Every oracle is a pure function ``(OracleContext) -> List[str]`` over
+the run's artifacts: the live cluster, the PR 3 trace stream, the
+differential checker's delivery log, and the fault injector's applied
+schedule.  Crucially, oracles judge against the **scenario's declared
+expectations** (``scenario.do_not_harm``, ``scenario.buffer_capacity``),
+never against the live ``IgnemConfig`` — a sabotaged build that flips a
+config flag at runtime must still be convicted by the spec it shipped
+with.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..faults.invariants import InvariantChecker
+from .model import DifferentialChecker
+from .scenario import Scenario
+
+#: Float slack for byte sums built from fractional final blocks.
+_BYTE_TOLERANCE = 1.0
+#: Slack around fault instants when classifying trace events.
+_TIME_EPS = 1e-5
+
+
+@dataclass
+class OracleContext:
+    """Everything the oracles may look at after a run."""
+
+    scenario: Scenario
+    cluster: object
+    checker: DifferentialChecker
+    injector: object
+    #: Parsed JSONL trace events, file order.
+    trace_events: Sequence[dict]
+    #: tid -> lane name for the trace events.
+    lanes: Dict[int, str]
+    #: (time, node) pairs at which the live slave's queue was purged.
+    purges: Sequence[Tuple[float, str]]
+    #: node -> [(down_at, up_at)] whole-server outage windows.
+    down_windows: Dict[str, List[Tuple[float, float]]]
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    name: str
+    violations: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _migration_events(ctx: OracleContext):
+    for event in ctx.trace_events:
+        if event.get("name") == "ignem.migration":
+            yield ctx.lanes.get(event.get("tid")), event
+
+
+def _eviction_events(ctx: OracleContext):
+    for event in ctx.trace_events:
+        if event.get("name") == "ignem.eviction":
+            yield ctx.lanes.get(event.get("tid")), event
+
+
+def oracle_differential(ctx: OracleContext) -> List[str]:
+    """Replay the reference model against the trace stream (III-A1)."""
+    return list(
+        ctx.checker.replay(ctx.trace_events, ctx.lanes, ctx.purges)
+    )
+
+
+def oracle_do_not_harm(ctx: OracleContext) -> List[str]:
+    """III-A3: migrated data is never evicted to admit new blocks."""
+    if not ctx.scenario.do_not_harm:
+        return []
+    violations = []
+    for record in ctx.cluster.collector.evictions:
+        if record.reason == "preempted":
+            violations.append(
+                f"{record.node}: block {record.block_id} "
+                f"({record.nbytes:.0f}B) evicted to admit newer work at "
+                f"t={record.time:.3f} despite the scenario's do-not-harm "
+                f"guarantee"
+            )
+    for node, event in _eviction_events(ctx):
+        if event["args"].get("reason") == "preempted":
+            violations.append(
+                f"{node}: trace shows a 'preempted' eviction of "
+                f"{event['args']['block']} at t={event['ts'] / 1e6:.3f}"
+            )
+    return violations
+
+
+def oracle_buffer_cap(ctx: OracleContext) -> List[str]:
+    """III-B2: per-slave migrated bytes never exceed the declared cap.
+
+    Uses each slave's exact ``usage_timeline`` against the *scenario's*
+    capacity, so a build that silently raises the real cap is caught.
+    """
+    cap = ctx.scenario.buffer_capacity
+    violations = []
+    for name in sorted(ctx.cluster.ignem_slaves):
+        slave = ctx.cluster.ignem_slaves[name]
+        peak_time, peak = max(slave.usage_timeline, key=lambda tb: tb[1])
+        if peak > cap + _BYTE_TOLERANCE:
+            violations.append(
+                f"{name}: migrated bytes peaked at {peak:.0f} "
+                f"(t={peak_time:.3f}) above the scenario's buffer cap "
+                f"{cap:.0f}"
+            )
+    return violations
+
+
+def oracle_end_state(ctx: OracleContext) -> List[str]:
+    """After full drain + forced sweep, no references, bytes, or queued
+    work may survive (III-A4 liveness; crash purges, III-A5)."""
+    violations = []
+    for name in sorted(ctx.cluster.ignem_slaves):
+        slave = ctx.cluster.ignem_slaves[name]
+        if not slave.alive:
+            continue
+        refs = slave.referenced_blocks()
+        if refs:
+            held = {job for jobs in refs.values() for job in jobs}
+            violations.append(
+                f"{name}: {len(refs)} block(s) still referenced by "
+                f"{sorted(held)} after drain + forced sweep"
+            )
+        if slave.migrated_bytes > _BYTE_TOLERANCE:
+            violations.append(
+                f"{name}: {slave.migrated_bytes:.0f} migrated bytes "
+                f"resident after every job finished"
+            )
+        if slave.pending_migrations:
+            violations.append(
+                f"{name}: {slave.pending_migrations} migration(s) still "
+                f"queued after full drain (work conservation)"
+            )
+        for block_id in slave._migrated:
+            if not slave.reference_list(block_id):
+                violations.append(
+                    f"{name}: block {block_id} resident with an empty "
+                    f"reference list (evicted-then-still-held leak)"
+                )
+    return violations
+
+
+def oracle_post_crash(ctx: OracleContext) -> List[str]:
+    """III-A5: a crashed slave is silent and empty until its restart."""
+    violations = []
+
+    def in_outage(node: str, when: float) -> bool:
+        for down_at, up_at in ctx.down_windows.get(node, ()):
+            if down_at + _TIME_EPS < when < up_at - _TIME_EPS:
+                return True
+        return False
+
+    for node, event in _migration_events(ctx):
+        ts = event["ts"] / 1e6
+        if node is not None and in_outage(node, ts):
+            violations.append(
+                f"{node}: ignem.migration "
+                f"({event['args'].get('outcome')}) at t={ts:.3f} while "
+                f"the server was down"
+            )
+    for node, event in _eviction_events(ctx):
+        ts = event["ts"] / 1e6
+        if node is not None and in_outage(node, ts):
+            violations.append(
+                f"{node}: eviction of {event['args']['block']} at "
+                f"t={ts:.3f} while the server was down"
+            )
+    for item in ctx.checker.delivered:
+        if in_outage(item.node, item.time):
+            violations.append(
+                f"{item.node}: migrate command for {item.job_id}/"
+                f"{item.block_id} accepted at t={item.time:.3f} while "
+                f"the server was down"
+            )
+    for when, node, job_id, _blocks in ctx.checker.evict_deliveries:
+        if in_outage(node, when):
+            violations.append(
+                f"{node}: evict command for {job_id} accepted at "
+                f"t={when:.3f} while the server was down"
+            )
+    return violations
+
+
+def oracle_conservation(ctx: OracleContext) -> List[str]:
+    """Bytes and events must balance across the three reporting paths:
+    metrics records, the trace stream, and the registry counters."""
+    violations = []
+    cluster = ctx.cluster
+    collector = cluster.collector
+    registry = cluster.metrics
+
+    # (a) per-node byte balance: completed - evicted == resident.
+    completed_bytes: Dict[str, float] = {}
+    evicted_bytes: Dict[str, float] = {}
+    record_outcomes: Dict[str, int] = {}
+    for record in collector.migrations:
+        record_outcomes[record.outcome] = (
+            record_outcomes.get(record.outcome, 0) + 1
+        )
+        if record.outcome == "completed":
+            completed_bytes[record.node] = (
+                completed_bytes.get(record.node, 0.0) + record.nbytes
+            )
+    for record in collector.evictions:
+        evicted_bytes[record.node] = (
+            evicted_bytes.get(record.node, 0.0) + record.nbytes
+        )
+    for name in sorted(cluster.ignem_slaves):
+        slave = cluster.ignem_slaves[name]
+        balance = completed_bytes.get(name, 0.0) - evicted_bytes.get(name, 0.0)
+        if not math.isclose(
+            balance, slave.migrated_bytes, abs_tol=_BYTE_TOLERANCE
+        ):
+            violations.append(
+                f"{name}: migrated-evicted byte balance {balance:.0f} != "
+                f"resident {slave.migrated_bytes:.0f}"
+            )
+
+    # (b) trace stream agrees with the metrics records.
+    trace_outcomes: Dict[str, int] = {}
+    for _node, event in _migration_events(ctx):
+        outcome = event["args"]["outcome"]
+        trace_outcomes[outcome] = trace_outcomes.get(outcome, 0) + 1
+    if trace_outcomes != record_outcomes:
+        violations.append(
+            f"trace migration outcomes {trace_outcomes} != collector "
+            f"records {record_outcomes}"
+        )
+    trace_evictions = sum(1 for _ in _eviction_events(ctx))
+    if trace_evictions != len(collector.evictions):
+        violations.append(
+            f"{trace_evictions} eviction instants in the trace but "
+            f"{len(collector.evictions)} eviction records"
+        )
+
+    # (c) registry counters agree with both.
+    counter_map = {
+        "completed": "ignem.slave.migrations_completed",
+        "skipped": "ignem.slave.migrations_skipped",
+        "cancelled": "ignem.slave.migrations_cancelled",
+    }
+    for outcome, metric in counter_map.items():
+        count = registry.counter(metric).value
+        if count != record_outcomes.get(outcome, 0):
+            violations.append(
+                f"counter {metric}={count} != "
+                f"{record_outcomes.get(outcome, 0)} {outcome} records"
+            )
+    eviction_reasons: Dict[str, int] = {}
+    for record in collector.evictions:
+        eviction_reasons[record.reason] = (
+            eviction_reasons.get(record.reason, 0) + 1
+        )
+    for reason, count in sorted(eviction_reasons.items()):
+        metric = f"ignem.slave.evictions.{reason}"
+        if registry.counter(metric).value != count:
+            violations.append(
+                f"counter {metric}={registry.counter(metric).value} != "
+                f"{count} eviction records"
+            )
+
+    # (d) every completed job actually read its whole input.
+    reads_by_job: Dict[str, set] = {}
+    for record in collector.block_reads:
+        reads_by_job.setdefault(record.job_id, set()).add(record.block_id)
+    for job in cluster.engine.jobs:
+        if job.finished_at is None or job.failed:
+            continue
+        seen = reads_by_job.get(job.job_id, set())
+        for path in job.spec.input_paths:
+            for block in cluster.namenode.file_blocks(path):
+                if block.block_id not in seen:
+                    violations.append(
+                        f"{job.job_id}: completed without reading block "
+                        f"{block.block_id} of {path}"
+                    )
+    return violations
+
+
+def oracle_fault_invariants(ctx: OracleContext) -> List[str]:
+    """The PR 2 :class:`InvariantChecker`, wholesale (byte accounting,
+    reference-list liveness, memory-index equivalence, data loss)."""
+    return InvariantChecker(ctx.cluster).check(ctx.injector)
+
+
+#: Registry: (name, fn) in evaluation order.
+ALL_ORACLES = (
+    ("differential", oracle_differential),
+    ("do_not_harm", oracle_do_not_harm),
+    ("buffer_cap", oracle_buffer_cap),
+    ("end_state", oracle_end_state),
+    ("post_crash", oracle_post_crash),
+    ("conservation", oracle_conservation),
+    ("fault_invariants", oracle_fault_invariants),
+)
+
+
+def run_oracles(ctx: OracleContext) -> List[OracleReport]:
+    """Evaluate every oracle; returns one report per oracle."""
+    return [
+        OracleReport(name=name, violations=tuple(fn(ctx)))
+        for name, fn in ALL_ORACLES
+    ]

@@ -1,0 +1,377 @@
+"""Self-describing DST scenarios and their seeded generator.
+
+A :class:`Scenario` is the unit of deterministic simulation testing: one
+plain-data description of a cluster shape, a workload mix, and a fault
+plan.  Scenarios serialize to canonical JSON (sorted keys, exact float
+reprs) so a shrunk failing scenario is byte-identical across machines
+and replays forever from ``tests/dst/corpus/``.
+
+The :class:`ScenarioGenerator` samples random scenarios from a seed:
+cluster configs (node count, replication, buffer capacity, policy, HA)
+× workload mixes (SWIM-shaped movers, wordcount scans over shared
+datasets, sorts, Hive query fragments over shared tables) ×
+:class:`~repro.faults.schedule.FaultSchedule` draws.  The same seed
+always yields the same scenario — generation never touches a live
+simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..faults.schedule import FaultEvent, FaultSchedule
+from ..sim.rand import RandomSource, derive_seed
+from ..storage.device import GB, MB
+
+#: Bump when the serialized scenario layout changes incompatibly.
+FORMAT_VERSION = 1
+
+#: Workload fragment kinds the generator samples from.
+JOB_KINDS = ("swim", "wordcount", "sort", "hive")
+
+#: Slack past the last job arrival that the fault window may cover.
+FAULT_HORIZON_SLACK = 90.0
+
+
+@dataclass(frozen=True)
+class ScenarioJob:
+    """One job of a scenario's workload mix.
+
+    ``input_path`` may be shared between jobs (wordcount and Hive
+    fragments scan common datasets/tables), which is exactly the regime
+    where per-block reference lists and the one-replica rule get
+    interesting.
+    """
+
+    name: str
+    kind: str  # one of JOB_KINDS
+    input_path: str
+    input_bytes: float
+    arrival: float
+    shuffle_fraction: float = 0.2
+    output_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.input_bytes <= 0:
+            raise ValueError("input_bytes must be positive")
+        if self.arrival < 0:
+            raise ValueError("arrival must be non-negative")
+
+    @property
+    def shuffle_bytes(self) -> float:
+        return self.input_bytes * self.shuffle_fraction
+
+    @property
+    def output_bytes(self) -> float:
+        return self.shuffle_bytes * self.output_fraction
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "input_path": self.input_path,
+            "input_bytes": self.input_bytes,
+            "arrival": self.arrival,
+            "shuffle_fraction": self.shuffle_fraction,
+            "output_fraction": self.output_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioJob":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One complete DST input: cluster × workload × faults."""
+
+    seed: int
+    num_nodes: int
+    replication: int
+    slots_per_node: int
+    block_size: float
+    buffer_capacity: float
+    policy: str
+    ha: bool
+    implicit_eviction: bool
+    jobs: Tuple[ScenarioJob, ...]
+    faults: Tuple[FaultEvent, ...] = ()
+    #: Expectation the oracles check against (the spec is ground truth;
+    #: the system under test may be sabotaged to disagree).
+    do_not_harm: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if not 1 <= self.replication <= self.num_nodes:
+            raise ValueError("replication must be in [1, num_nodes]")
+        if not self.jobs:
+            raise ValueError("a scenario needs at least one job")
+        object.__setattr__(
+            self,
+            "faults",
+            tuple(
+                sorted(
+                    self.faults, key=lambda e: (e.time, e.kind, e.target or "")
+                )
+            ),
+        )
+
+    # -- derived views ------------------------------------------------------------
+
+    @property
+    def horizon(self) -> float:
+        return max(job.arrival for job in self.jobs) + FAULT_HORIZON_SLACK
+
+    def fault_schedule(self) -> FaultSchedule:
+        return FaultSchedule(self.faults, seed=self.seed)
+
+    def input_files(self) -> Dict[str, float]:
+        """path -> size of every (deduplicated) input file.
+
+        Shared paths keep the *largest* declared size so every job's scan
+        is satisfiable.
+        """
+        files: Dict[str, float] = {}
+        for job in self.jobs:
+            size = files.get(job.input_path, 0.0)
+            files[job.input_path] = max(size, job.input_bytes)
+        return files
+
+    def describe(self) -> str:
+        kinds: Dict[str, int] = {}
+        for job in self.jobs:
+            kinds[job.kind] = kinds.get(job.kind, 0) + 1
+        mix = "+".join(f"{n}{k}" for k, n in sorted(kinds.items()))
+        return (
+            f"seed={self.seed} nodes={self.num_nodes} rep={self.replication} "
+            f"buf={self.buffer_capacity / MB:.0f}MB policy={self.policy} "
+            f"ha={self.ha} jobs=[{mix}] faults={len(self.faults)}"
+        )
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "seed": self.seed,
+            "num_nodes": self.num_nodes,
+            "replication": self.replication,
+            "slots_per_node": self.slots_per_node,
+            "block_size": self.block_size,
+            "buffer_capacity": self.buffer_capacity,
+            "policy": self.policy,
+            "ha": self.ha,
+            "implicit_eviction": self.implicit_eviction,
+            "do_not_harm": self.do_not_harm,
+            "jobs": [job.to_dict() for job in self.jobs],
+            "faults": [
+                {
+                    "time": event.time,
+                    "kind": event.kind,
+                    "target": event.target,
+                    "param": event.param,
+                }
+                for event in self.faults
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, exact float reprs, one trailing
+        newline — byte-identical for equal scenarios."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Scenario":
+        version = data.get("format_version", FORMAT_VERSION)
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"scenario format_version {version} not supported "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        return cls(
+            seed=data["seed"],
+            num_nodes=data["num_nodes"],
+            replication=data["replication"],
+            slots_per_node=data["slots_per_node"],
+            block_size=data["block_size"],
+            buffer_capacity=data["buffer_capacity"],
+            policy=data["policy"],
+            ha=data["ha"],
+            implicit_eviction=data["implicit_eviction"],
+            do_not_harm=data.get("do_not_harm", True),
+            jobs=tuple(ScenarioJob.from_dict(job) for job in data["jobs"]),
+            faults=tuple(
+                FaultEvent(
+                    time=event["time"],
+                    kind=event["kind"],
+                    target=event["target"],
+                    param=event["param"],
+                )
+                for event in data["faults"]
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> pathlib.Path:
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json())
+        return target
+
+    @classmethod
+    def load(cls, path) -> "Scenario":
+        return cls.from_json(pathlib.Path(path).read_text())
+
+
+class ScenarioGenerator:
+    """Samples random scenarios deterministically from a seed.
+
+    Every draw comes from a child stream of the generator's seed, so
+    scenario ``i`` is a pure function of ``(seed, i)`` — adding runs
+    never perturbs earlier scenarios.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def generate(self, index: int = 0) -> Scenario:
+        scenario_seed = derive_seed(self.seed, f"dst-scenario-{index}")
+        rng = RandomSource(scenario_seed).spawn("dst")
+
+        num_nodes = rng.randint(2, 6)
+        replication = rng.randint(1, min(3, num_nodes))
+        slots_per_node = rng.randint(2, 4)
+        block_size = rng.choice([32 * MB, 64 * MB, 128 * MB])
+        # Log-uniform small buffers: pressure (do-not-harm stalls,
+        # cleanup sweeps) should be the common case, not the rare one.
+        buffer_capacity = math.exp(
+            rng.uniform(math.log(128 * MB), math.log(4 * GB))
+        )
+        policy = "smallest-job-first" if rng.uniform(0, 1) < 0.75 else "fifo"
+        ha = rng.uniform(0, 1) < 0.5
+        implicit_eviction = rng.uniform(0, 1) < 0.5
+
+        jobs = self._sample_jobs(rng)
+        faults = self._sample_faults(rng, scenario_seed, num_nodes, jobs)
+
+        return Scenario(
+            seed=scenario_seed,
+            num_nodes=num_nodes,
+            replication=replication,
+            slots_per_node=slots_per_node,
+            block_size=block_size,
+            buffer_capacity=buffer_capacity,
+            policy=policy,
+            ha=ha,
+            implicit_eviction=implicit_eviction,
+            jobs=tuple(jobs),
+            faults=faults,
+        )
+
+    # -- workload mix -------------------------------------------------------------
+
+    def _sample_jobs(self, rng: RandomSource) -> List[ScenarioJob]:
+        num_jobs = rng.randint(2, 8)
+        # Shared datasets: wordcount and Hive fragments scan these, so
+        # several jobs hold references on the same blocks concurrently.
+        num_tables = rng.randint(1, 2)
+        table_sizes = {
+            f"/dst/table-{k}": self._log_uniform(rng, 64 * MB, 1 * GB)
+            for k in range(num_tables)
+        }
+
+        jobs: List[ScenarioJob] = []
+        arrival = 0.0
+        for index in range(num_jobs):
+            arrival += rng.expovariate(1.0 / rng.uniform(4.0, 15.0))
+            kind = rng.choice(list(JOB_KINDS))
+            name = f"dst-{index:02d}-{kind}"
+            if kind == "swim":
+                jobs.append(
+                    ScenarioJob(
+                        name=name,
+                        kind=kind,
+                        input_path=f"/dst/input-{index:02d}",
+                        input_bytes=self._log_uniform(rng, 4 * MB, 2 * GB),
+                        arrival=arrival,
+                        shuffle_fraction=rng.uniform(0.05, 0.5),
+                        output_fraction=rng.uniform(0.1, 0.5),
+                    )
+                )
+            elif kind == "sort":
+                # Sort moves its whole input through shuffle and out.
+                jobs.append(
+                    ScenarioJob(
+                        name=name,
+                        kind=kind,
+                        input_path=f"/dst/input-{index:02d}",
+                        input_bytes=self._log_uniform(rng, 16 * MB, 1 * GB),
+                        arrival=arrival,
+                        shuffle_fraction=1.0,
+                        output_fraction=1.0,
+                    )
+                )
+            elif kind == "wordcount":
+                path = rng.choice(sorted(table_sizes))
+                jobs.append(
+                    ScenarioJob(
+                        name=name,
+                        kind=kind,
+                        input_path=path,
+                        input_bytes=table_sizes[path],
+                        arrival=arrival,
+                        shuffle_fraction=0.05,
+                        output_fraction=0.2,
+                    )
+                )
+            else:  # hive: a short fragment chain over one shared table
+                path = rng.choice(sorted(table_sizes))
+                stages = rng.randint(1, 2)
+                for stage in range(stages):
+                    jobs.append(
+                        ScenarioJob(
+                            name=f"{name}-s{stage}",
+                            kind=kind,
+                            input_path=path,
+                            input_bytes=table_sizes[path],
+                            arrival=arrival + stage * rng.uniform(2.0, 6.0),
+                            shuffle_fraction=rng.uniform(0.02, 0.15),
+                            output_fraction=rng.uniform(0.05, 0.3),
+                        )
+                    )
+        return jobs
+
+    # -- faults -------------------------------------------------------------------
+
+    def _sample_faults(
+        self,
+        rng: RandomSource,
+        scenario_seed: int,
+        num_nodes: int,
+        jobs: List[ScenarioJob],
+    ) -> Tuple[FaultEvent, ...]:
+        if rng.uniform(0, 1) < 0.25:
+            return ()  # clean runs stay in the mix
+        horizon = max(job.arrival for job in jobs) + FAULT_HORIZON_SLACK
+        node_names = [f"node{i}" for i in range(num_nodes)]
+        schedule = FaultSchedule.random(
+            derive_seed(scenario_seed, "dst-faults"),
+            node_names,
+            horizon,
+            max_node_crashes=max(0, min(2, num_nodes - 1)),
+        )
+        return schedule.events
+
+    @staticmethod
+    def _log_uniform(rng: RandomSource, low: float, high: float) -> float:
+        return math.exp(rng.uniform(math.log(low), math.log(high)))

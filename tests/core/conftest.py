@@ -2,20 +2,14 @@
 
 import pytest
 
-from repro import IgnemConfig, build_paper_testbed
-from repro.storage import GB, MB
+from repro.storage import GB
+from tests.fixtures import make_ignem_cluster
 
 
 @pytest.fixture
 def cluster():
     """4-node cluster, replication 2, Ignem enabled with a small buffer."""
-    c = build_paper_testbed(
-        num_nodes=4,
-        replication=2,
-        seed=13,
-    )
-    c.enable_ignem(IgnemConfig(buffer_capacity=1 * GB, rpc_latency=0.0))
-    return c
+    return make_ignem_cluster(buffer_capacity=1 * GB)
 
 
 @pytest.fixture
@@ -24,9 +18,4 @@ def master(cluster):
 
 
 def make_cluster(ignem_config=None, **kwargs):
-    kwargs.setdefault("num_nodes", 4)
-    kwargs.setdefault("replication", 2)
-    kwargs.setdefault("seed", 13)
-    c = build_paper_testbed(**kwargs)
-    c.enable_ignem(ignem_config or IgnemConfig(rpc_latency=0.0))
-    return c
+    return make_ignem_cluster(config=ignem_config, **kwargs)

@@ -2,17 +2,17 @@
 
 import pytest
 
-from repro import IgnemConfig, build_paper_testbed
 from repro.storage import MB
+from tests.fixtures import make_ignem_cluster
 
 
 def make_cluster(num_nodes=4, replication=2, **config_kwargs):
+    # This suite times the retry/backoff loop, so commands keep the
+    # production 2 ms RPC latency instead of the test default of zero.
     config_kwargs.setdefault("rpc_latency", 0.002)
-    cluster = build_paper_testbed(
-        num_nodes=num_nodes, replication=replication, seed=13
+    return make_ignem_cluster(
+        num_nodes=num_nodes, replication=replication, **config_kwargs
     )
-    cluster.enable_ignem(IgnemConfig(**config_kwargs))
-    return cluster
 
 
 class DropFirst:

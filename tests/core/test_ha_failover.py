@@ -1,15 +1,11 @@
 """HA master failover mid-run (paper III-A5 with a standby pair)."""
 
-from repro import IgnemConfig, build_paper_testbed
 from repro.storage import GB, MB
+from tests.fixtures import make_ignem_cluster
 
 
 def make_ha_cluster():
-    cluster = build_paper_testbed(num_nodes=4, replication=2, seed=13)
-    ha = cluster.enable_ignem(
-        IgnemConfig(buffer_capacity=1 * GB, rpc_latency=0.0), ha=True
-    )
-    return cluster, ha
+    return make_ignem_cluster(ha=True, buffer_capacity=1 * GB)
 
 
 class TestFailoverMidRun:

@@ -6,16 +6,14 @@ the freed space admits the waiting migration — all without ever touching
 a live job's blocks (do-not-harm, III-A3).
 """
 
-from repro import IgnemConfig, build_paper_testbed
 from repro.storage import MB
+from tests.fixtures import make_ignem_cluster
 
 
 def make_cluster(buffer_capacity):
-    cluster = build_paper_testbed(num_nodes=1, replication=1, seed=13)
-    cluster.enable_ignem(
-        IgnemConfig(buffer_capacity=buffer_capacity, rpc_latency=0.0)
+    return make_ignem_cluster(
+        num_nodes=1, replication=1, buffer_capacity=buffer_capacity
     )
-    return cluster
 
 
 class TestSweepUnderPressure:

@@ -7,17 +7,13 @@ migration's disk read, whose completion callback used to insert into
 the already-flushed cache.
 """
 
-from repro import IgnemConfig, build_paper_testbed
 from repro.faults import InvariantChecker
 from repro.storage import MB
+from tests.fixtures import make_ignem_cluster
 
 
 def make_cluster(num_nodes=2, replication=2):
-    cluster = build_paper_testbed(
-        num_nodes=num_nodes, replication=replication, seed=13
-    )
-    cluster.enable_ignem(IgnemConfig(rpc_latency=0.0))
-    return cluster
+    return make_ignem_cluster(num_nodes=num_nodes, replication=replication)
 
 
 def index_nodes(cluster):

@@ -2,17 +2,9 @@
 
 import pytest
 
-from repro import build_paper_testbed
 from repro.dfs import ReplicationMonitor
 from repro.storage import MB
-
-
-def make_cluster(num_nodes=4, replication=2, seed=3):
-    cluster = build_paper_testbed(
-        num_nodes=num_nodes, replication=replication, seed=seed
-    )
-    cluster.enable_rereplication()
-    return cluster
+from tests.fixtures import make_dfs_cluster as make_cluster
 
 
 class TestUnderReplicationDetection:
@@ -104,7 +96,7 @@ class TestRestoration:
         assert first is second
 
     def test_validation(self):
-        cluster = build_paper_testbed(num_nodes=2)
+        cluster = make_cluster(num_nodes=2)
         with pytest.raises(ValueError):
             ReplicationMonitor(
                 cluster.env,

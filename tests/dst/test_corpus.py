@@ -1,0 +1,52 @@
+"""Regression corpus replay: every saved scenario must stay green.
+
+``tests/dst/corpus/`` holds minimal scenarios that once exposed (or
+deliberately exercise) interesting behavior.  ``python -m repro dst
+--replay tests/dst/corpus`` runs the same check from the CLI; this file
+is the pytest-native twin, so a plain test run covers the corpus too.
+"""
+
+import pathlib
+
+from repro.dst import DstRunner, Scenario, corpus_paths, run_scenario
+
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+
+
+def test_corpus_is_not_empty():
+    assert len(corpus_paths(CORPUS)) >= 2
+
+
+def test_every_corpus_scenario_replays_clean():
+    runner = DstRunner(seed=0)
+    report = runner.replay(corpus_paths(CORPUS))
+    assert report.scenarios_run == len(corpus_paths(CORPUS))
+    assert report.ok, report.format()
+
+
+def test_corpus_files_are_canonical():
+    # Byte-identity keeps diffs reviewable: re-serializing a corpus
+    # file must be a no-op.
+    for path in corpus_paths(CORPUS):
+        assert Scenario.load(path).to_json() == path.read_text(), path
+
+
+class TestRetryFailoverSeed:
+    """PR 2 command retry/backoff under concurrent slave crash and
+    master failover, pinned as a hand-written corpus scenario."""
+
+    def test_retries_reroutes_and_abandons_all_exercised(self):
+        scenario = Scenario.load(CORPUS / "retry-failover.json")
+        result = run_scenario(scenario)
+        assert result.ok, result.format_violations()
+        assert result.stats["command_retries"] >= 1
+        assert result.stats["commands_rerouted"] >= 1
+        assert result.stats["commands_abandoned"] >= 1
+        assert result.stats["faults_applied"] == len(scenario.faults)
+
+    def test_replay_is_deterministic(self):
+        scenario = Scenario.load(CORPUS / "retry-failover.json")
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        assert first.stats == second.stats
+        assert first.violations == second.violations

@@ -1,0 +1,145 @@
+"""Harness end-to-end: clean scenarios pass, planted bugs are caught.
+
+The sabotage self-tests are the proof the subsystem works: a DST
+harness that cannot convict a deliberately broken system proves
+nothing.  Each mode plants one class of bug behind the scenario's
+back and asserts the matching oracle fires.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.dst import (
+    DstRunner,
+    Scenario,
+    ScenarioJob,
+    apply_sabotage,
+    build_cluster,
+    run_scenario,
+)
+from repro.storage import GB, MB
+
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+
+
+def tiny_scenario():
+    return Scenario(
+        seed=11,
+        num_nodes=2,
+        replication=1,
+        slots_per_node=2,
+        block_size=64 * MB,
+        buffer_capacity=1 * GB,
+        policy="smallest-job-first",
+        ha=False,
+        implicit_eviction=True,
+        jobs=(
+            ScenarioJob(
+                name="tiny-swim",
+                kind="swim",
+                input_path="/dst/tiny",
+                input_bytes=128 * MB,
+                arrival=0.0,
+            ),
+        ),
+    )
+
+
+class TestCleanRun:
+    def test_tiny_scenario_passes_every_oracle(self):
+        result = run_scenario(tiny_scenario())
+        assert result.ok, result.format_violations()
+        assert result.stats["jobs_completed"] == 1
+        assert result.stats["jobs_failed"] == 0
+        assert result.stats["migrations_completed"] >= 1
+        assert result.stats["trace_events"] > 0
+        # One report per oracle, all clean.
+        assert all(report.ok for report in result.reports)
+
+    def test_run_is_deterministic(self):
+        first = run_scenario(tiny_scenario())
+        second = run_scenario(tiny_scenario())
+        assert first.stats == second.stats
+        assert first.violations == second.violations
+
+
+class TestSabotage:
+    def test_unknown_mode_rejected(self):
+        cluster, _ = build_cluster(tiny_scenario())
+        with pytest.raises(ValueError):
+            apply_sabotage(cluster, "unplug-the-router")
+
+    def test_evict_to_admit_convicted_by_do_not_harm_oracle(self):
+        # The corpus scenario was shrunk under exactly this sabotage:
+        # a full buffer plus a second job forces an evict-to-admit.
+        scenario = Scenario.load(CORPUS / "buffer-pressure.json")
+        result = run_scenario(scenario, sabotage="evict-to-admit")
+        assert not result.ok
+        assert "do_not_harm" in {name for name, _ in result.violations}
+
+    def test_fifo_queue_convicted_by_differential_model(self):
+        report = DstRunner(seed=0, sabotage="fifo-queue").fuzz(
+            25, shrink=False
+        )
+        assert not report.ok
+        failing = {
+            name
+            for result in report.failures
+            for name, _ in result.violations
+        }
+        assert "differential" in failing
+
+    def test_overcommit_buffer_convicted_by_buffer_cap_oracle(self):
+        report = DstRunner(seed=0, sabotage="overcommit-buffer").fuzz(
+            25, shrink=False
+        )
+        assert not report.ok
+        failing = {
+            name
+            for result in report.failures
+            for name, _ in result.violations
+        }
+        assert "buffer_cap" in failing
+
+
+class TestRunnerMetrics:
+    def test_oracle_verdict_counters_feed_the_registry(self):
+        runner = DstRunner(seed=0)
+        report = runner.fuzz(3, shrink=False)
+        assert report.ok
+        registry = runner.registry
+        assert registry.counter("dst.scenarios.run").value == 3
+        assert registry.counter("dst.scenarios.failed").value == 0
+        assert registry.counter("dst.oracle.differential.pass").value == 3
+        assert registry.counter("dst.oracle.do_not_harm.pass").value == 3
+        snapshot = registry.snapshot()
+        assert any(
+            key.startswith("dst.oracle.") for key in snapshot["counters"]
+        )
+
+    def test_failures_counted_under_sabotage(self):
+        runner = DstRunner(seed=0, sabotage="fifo-queue")
+        report = runner.fuzz(25, shrink=False)
+        assert len(report.failures) == 1
+        assert runner.registry.counter("dst.scenarios.failed").value == 1
+        assert runner.registry.counter("dst.scenarios.run").value == (
+            report.scenarios_run
+        )
+
+
+class TestArtifacts:
+    def test_failure_artifact_round_trips(self, tmp_path):
+        runner = DstRunner(seed=0, sabotage="fifo-queue")
+        report = runner.fuzz(25, shrink=False)
+        runner.write_artifact(report, tmp_path)
+        assert report.artifact is not None
+        saved = Scenario.load(report.artifact)
+        assert saved.to_json() == report.failures[0].scenario.to_json()
+
+    def test_no_artifact_written_on_a_clean_sweep(self, tmp_path):
+        runner = DstRunner(seed=0)
+        report = runner.fuzz(2, shrink=False)
+        runner.write_artifact(report, tmp_path)
+        assert report.artifact is None
+        assert list(tmp_path.iterdir()) == []

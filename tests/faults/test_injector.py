@@ -2,16 +2,10 @@
 
 import pytest
 
-from repro import IgnemConfig, build_paper_testbed
 from repro.faults import FaultEvent, FaultInjector, FaultSchedule
 from repro.net.network import NetworkError
 from repro.storage import MB
-
-
-def make_cluster():
-    cluster = build_paper_testbed(num_nodes=4, replication=2, seed=13)
-    cluster.enable_ignem(IgnemConfig(rpc_latency=0.0))
-    return cluster
+from tests.fixtures import make_ignem_cluster as make_cluster
 
 
 def run_with(cluster, schedule, until=None):

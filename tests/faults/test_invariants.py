@@ -1,17 +1,12 @@
 """InvariantChecker: clean runs pass, corrupted state is flagged."""
 
-from repro import IgnemConfig, build_paper_testbed
 from repro.faults import InvariantChecker, data_loss_violations
 from repro.storage import GB, MB
+from tests.fixtures import make_ignem_cluster
 
 
 def make_cluster(**kwargs):
-    kwargs.setdefault("num_nodes", 4)
-    kwargs.setdefault("replication", 2)
-    kwargs.setdefault("seed", 13)
-    cluster = build_paper_testbed(**kwargs)
-    cluster.enable_ignem(IgnemConfig(buffer_capacity=1 * GB, rpc_latency=0.0))
-    return cluster
+    return make_ignem_cluster(buffer_capacity=1 * GB, **kwargs)
 
 
 def migrated_cluster():

@@ -1,0 +1,69 @@
+"""Shared cluster builders for the test and benchmark suites.
+
+Before this module, every suite carried its own copy of "build a paper
+testbed, enable Ignem, tweak one knob" — eight near-identical
+``make_cluster`` functions.  The builders below are the single source:
+
+* :func:`make_ignem_cluster` — the Ignem-enabled testbed (optionally as
+  an HA pair, optionally with the re-replication monitor);
+* :func:`make_dfs_cluster` — the plain DFS testbed with re-replication
+  (no Ignem);
+* :func:`make_sort_bench_cluster` — the sort-workload benchmark cluster
+  with its input pre-materialized.
+
+Test-suite defaults differ from production on purpose: ``rpc_latency=0``
+so unit tests can step the clock without 2 ms command skew.  Pass a full
+``config`` (or ``rpc_latency=...``) to override.
+"""
+
+from repro import IgnemConfig, build_paper_testbed
+from repro.storage import GB
+
+
+def make_ignem_cluster(
+    num_nodes=4,
+    replication=2,
+    seed=13,
+    config=None,
+    ha=False,
+    rereplication=False,
+    **config_kwargs,
+):
+    """Paper testbed with Ignem enabled.
+
+    ``config`` wins over ``config_kwargs`` (which are ``IgnemConfig``
+    fields, e.g. ``buffer_capacity=128 * MB``).  With ``ha=True``
+    returns ``(cluster, ha_pair)``; otherwise just the cluster.
+    """
+    cluster = build_paper_testbed(
+        num_nodes=num_nodes, replication=replication, seed=seed
+    )
+    if rereplication:
+        cluster.enable_rereplication()
+    if config is None:
+        config_kwargs.setdefault("rpc_latency", 0.0)
+        config = IgnemConfig(**config_kwargs)
+    elif config_kwargs:
+        raise TypeError("pass either config or config kwargs, not both")
+    pair = cluster.enable_ignem(config, ha=ha)
+    return (cluster, pair) if ha else cluster
+
+
+def make_dfs_cluster(num_nodes=4, replication=2, seed=3):
+    """Plain DFS testbed (no Ignem) with the re-replication monitor."""
+    cluster = build_paper_testbed(
+        num_nodes=num_nodes, replication=replication, seed=seed
+    )
+    cluster.enable_rereplication()
+    return cluster
+
+
+def make_sort_bench_cluster(data_bytes=20 * GB, seed=0, ignem_config=None):
+    """Sort-workload benchmark cluster with its input materialized."""
+    from repro.workloads.sort import materialize
+
+    cluster = build_paper_testbed(
+        seed=seed, ignem=True, ignem_config=ignem_config
+    )
+    materialize(cluster, data_bytes)
+    return cluster

@@ -5,18 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sim import Environment
 from repro.storage import MB, TransferDevice, seek_thrash_penalty
-
-
-@st.composite
-def transfer_plans(draw):
-    """A list of (start_delay, nbytes) transfer requests."""
-    count = draw(st.integers(min_value=1, max_value=8))
-    plan = []
-    for _ in range(count):
-        delay = draw(st.floats(min_value=0.0, max_value=5.0))
-        nbytes = draw(st.floats(min_value=1.0, max_value=512.0)) * MB
-        plan.append((delay, nbytes))
-    return plan
+from tests.strategies import transfer_plans
 
 
 def run_plan(plan, bandwidth=100 * MB, alpha=0.0, caps=None):

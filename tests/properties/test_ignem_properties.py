@@ -6,21 +6,8 @@ from hypothesis import given, settings, strategies as st
 from repro import IgnemConfig, build_paper_testbed
 from repro.core.commands import MigrationWorkItem
 from repro.core.policy import FifoOrder, SmallestJobFirst
-from repro.dfs.blocks import Block
 from repro.storage import GB, MB
-
-
-@st.composite
-def work_items(draw):
-    job = draw(st.integers(min_value=0, max_value=5))
-    return MigrationWorkItem(
-        block=Block(f"b{draw(st.integers(0, 100))}", "/f", 0, 64 * MB),
-        job_id=f"j{job}",
-        job_input_bytes=draw(st.floats(min_value=1.0, max_value=1e12)),
-        job_submitted_at=draw(st.floats(min_value=0.0, max_value=1e6)),
-        implicit_eviction=draw(st.booleans()),
-        order_hint=draw(st.integers(min_value=0, max_value=1000)),
-    )
+from tests.strategies import migration_scripts, work_items
 
 
 class TestPolicyProperties:
@@ -57,18 +44,6 @@ class TestPolicyProperties:
             seq=a.seq,
         )
         assert (policy.priority(swapped_a) < policy.priority(b)) == first
-
-
-@st.composite
-def migration_scripts(draw):
-    """A random interleaving of migrate/evict requests over a few files."""
-    steps = []
-    num_files = draw(st.integers(min_value=1, max_value=4))
-    for step in range(draw(st.integers(min_value=1, max_value=10))):
-        file_index = draw(st.integers(min_value=0, max_value=num_files - 1))
-        action = draw(st.sampled_from(["migrate", "evict", "wait"]))
-        steps.append((action, file_index, draw(st.floats(0.1, 20.0))))
-    return num_files, steps
 
 
 class TestEndToEndInvariants:

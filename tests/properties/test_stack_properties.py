@@ -7,23 +7,7 @@ from repro.net import Network
 from repro.scheduler import NodeManager, ResourceManager, TaskRequest
 from repro.sim import Environment
 from repro.storage import MB
-
-
-@st.composite
-def scheduler_workloads(draw):
-    """Random (nodes, tasks) scheduling scenarios."""
-    num_nodes = draw(st.integers(min_value=1, max_value=4))
-    slots = draw(st.integers(min_value=1, max_value=3))
-    tasks = []
-    for index in range(draw(st.integers(min_value=1, max_value=12))):
-        tasks.append(
-            {
-                "submit_at": draw(st.floats(min_value=0.0, max_value=20.0)),
-                "duration": draw(st.floats(min_value=0.1, max_value=8.0)),
-                "fails_first": draw(st.booleans()),
-            }
-        )
-    return num_nodes, slots, tasks
+from tests.strategies import scheduler_workloads
 
 
 class TestSchedulerInvariants:

@@ -1,0 +1,95 @@
+"""Shared Hypothesis strategies for the property and DST test suites.
+
+Every suite used to define its own composites inline; the generators
+below are the single home so new property tests (and DST-adjacent
+fuzzing) sample the same shapes: migration work items, migrate/evict
+scripts, device transfer plans, scheduler workloads, and fault events.
+"""
+
+from hypothesis import strategies as st
+
+from repro.core.commands import MigrationWorkItem
+from repro.dfs.blocks import Block
+from repro.faults import FaultEvent
+from repro.faults.schedule import FAULT_KINDS
+from repro.storage import MB
+
+#: The block sizes the paper testbed (and the DST generator) uses.
+BLOCK_SIZES = (32 * MB, 64 * MB, 128 * MB)
+
+block_sizes = st.sampled_from(BLOCK_SIZES)
+
+
+@st.composite
+def work_items(draw):
+    """A random migration work item over a handful of jobs."""
+    job = draw(st.integers(min_value=0, max_value=5))
+    return MigrationWorkItem(
+        block=Block(f"b{draw(st.integers(0, 100))}", "/f", 0, 64 * MB),
+        job_id=f"j{job}",
+        job_input_bytes=draw(st.floats(min_value=1.0, max_value=1e12)),
+        job_submitted_at=draw(st.floats(min_value=0.0, max_value=1e6)),
+        implicit_eviction=draw(st.booleans()),
+        order_hint=draw(st.integers(min_value=0, max_value=1000)),
+    )
+
+
+@st.composite
+def migration_scripts(draw):
+    """A random interleaving of migrate/evict requests over a few files."""
+    steps = []
+    num_files = draw(st.integers(min_value=1, max_value=4))
+    for step in range(draw(st.integers(min_value=1, max_value=10))):
+        file_index = draw(st.integers(min_value=0, max_value=num_files - 1))
+        action = draw(st.sampled_from(["migrate", "evict", "wait"]))
+        steps.append((action, file_index, draw(st.floats(0.1, 20.0))))
+    return num_files, steps
+
+
+@st.composite
+def transfer_plans(draw):
+    """A list of (start_delay, nbytes) transfer requests."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    plan = []
+    for _ in range(count):
+        delay = draw(st.floats(min_value=0.0, max_value=5.0))
+        nbytes = draw(st.floats(min_value=1.0, max_value=512.0)) * MB
+        plan.append((delay, nbytes))
+    return plan
+
+
+@st.composite
+def scheduler_workloads(draw):
+    """Random (nodes, slots, tasks) scheduling scenarios."""
+    num_nodes = draw(st.integers(min_value=1, max_value=4))
+    slots = draw(st.integers(min_value=1, max_value=3))
+    tasks = []
+    for index in range(draw(st.integers(min_value=1, max_value=12))):
+        tasks.append(
+            {
+                "submit_at": draw(st.floats(min_value=0.0, max_value=20.0)),
+                "duration": draw(st.floats(min_value=0.1, max_value=8.0)),
+                "fails_first": draw(st.booleans()),
+            }
+        )
+    return num_nodes, slots, tasks
+
+
+@st.composite
+def fault_events(draw, num_nodes=4, horizon=60.0):
+    """One well-formed fault event aimed at a node0..nodeN cluster."""
+    kind = draw(st.sampled_from(FAULT_KINDS))
+    target = None
+    param = None
+    if kind in ("crash", "restart", "slow_disk_start", "slow_disk_end"):
+        target = f"node{draw(st.integers(0, num_nodes - 1))}"
+    if kind == "slow_disk_start":
+        param = draw(st.floats(min_value=0.05, max_value=0.9))
+    elif kind == "net_loss_start":
+        param = draw(st.floats(min_value=0.1, max_value=1.0))
+    return FaultEvent(
+        time=draw(st.floats(min_value=0.0, max_value=horizon)),
+        kind=kind,
+        target=target,
+        param=param,
+    )
