@@ -28,7 +28,8 @@ from .obs import Observability, ObservabilityConfig
 from .sim.engine import Environment
 from .sim.rand import RandomSource
 from .storage.device import GB, MB
-from .storage.presets import make_hdd, make_ram, make_ssd
+from .storage.presets import TIER_PRESETS, make_hdd, make_ram, make_ssd, tier_preset
+from .storage.tiers import MEM, build_tier_set
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,13 @@ class ClusterConfig:
     disk_kind: str = "hdd"  # "hdd" | "ssd"
     disk_capacity: float = 1024 * GB
     ram_capacity: float = 128 * GB
+    #: Storage-hierarchy preset name (see ``repro.storage.TIER_PRESETS``,
+    #: e.g. ``"mem-ssd-hdd"``).  ``None`` keeps the classic 2-tier stack
+    #: implied by ``disk_kind``.
+    tier_preset: Optional[str] = None
+    #: Capacity of a middle SSD tier when ``tier_preset`` includes one
+    #: above the backing disk (ignored otherwise).
+    ssd_capacity: float = 256 * GB
     heartbeat_interval: float = 3.0
     block_size: float = 64 * MB
     replication: int = 3
@@ -59,6 +67,20 @@ class ClusterConfig:
             raise ValueError("num_nodes must be >= 1")
         if self.disk_kind not in ("hdd", "ssd"):
             raise ValueError(f"disk_kind must be 'hdd' or 'ssd', got {self.disk_kind!r}")
+        if self.tier_preset is not None and self.tier_preset not in TIER_PRESETS:
+            known = ", ".join(sorted(TIER_PRESETS))
+            raise ValueError(
+                f"unknown tier_preset {self.tier_preset!r} (known: {known})"
+            )
+        if self.ssd_capacity <= 0:
+            raise ValueError("ssd_capacity must be positive")
+
+    def tier_specs(self):
+        """The resolved tier hierarchy (a tuple of ``TierSpec``)."""
+        name = self.tier_preset
+        if name is None:
+            name = "mem-hdd" if self.disk_kind == "hdd" else "mem-ssd"
+        return tier_preset(name)
 
 
 class Cluster:
@@ -92,19 +114,36 @@ class Cluster:
         for index in range(cfg.num_nodes):
             name = f"node{index}"
             self.network.add_node(name)
-            disk = (
-                make_hdd(self.env, f"hdd-{name}")
-                if cfg.disk_kind == "hdd"
-                else make_ssd(self.env, f"ssd-{name}")
-            )
-            datanode = DataNode(
-                self.env,
-                name,
-                disk=disk,
-                ram=make_ram(self.env, f"ram-{name}"),
-                cache_capacity=cfg.ram_capacity,
-                disk_capacity=cfg.disk_capacity,
-            )
+            if cfg.tier_preset is None:
+                # Classic 2-tier stack: construct devices exactly as the
+                # pre-tier wiring did (order and names are part of the
+                # deterministic clean-path contract).
+                disk = (
+                    make_hdd(self.env, f"hdd-{name}")
+                    if cfg.disk_kind == "hdd"
+                    else make_ssd(self.env, f"ssd-{name}")
+                )
+                datanode = DataNode(
+                    self.env,
+                    name,
+                    disk=disk,
+                    ram=make_ram(self.env, f"ram-{name}"),
+                    cache_capacity=cfg.ram_capacity,
+                    disk_capacity=cfg.disk_capacity,
+                )
+            else:
+                specs = cfg.tier_specs()
+                bottom = min(specs, key=lambda spec: spec.height)
+                capacities = {MEM: cfg.ram_capacity, bottom.name: cfg.disk_capacity}
+                for spec in specs:
+                    if spec.name not in capacities:
+                        capacities[spec.name] = cfg.ssd_capacity
+                datanode = DataNode(
+                    self.env,
+                    name,
+                    tiers=build_tier_set(self.env, specs, name, capacities),
+                    disk_capacity=cfg.disk_capacity,
+                )
             self.namenode.register_datanode(datanode)
             self.datanodes[name] = datanode
             self.rm.register_node(
@@ -189,6 +228,21 @@ class Cluster:
             self.ignem_slaves[name] = slave
         self.client.ignem_master = master
         self.ignem_master = master
+        # Per-destination-tier occupancy, visible in every metrics
+        # snapshot (pull metrics: zero hot-path cost).
+        registry = self.obs.registry
+        slaves = self.ignem_slaves
+
+        def _tier_pull(tier_name):
+            return lambda: sum(
+                slave.tier_bytes.get(tier_name, 0.0)
+                for slave in slaves.values()
+            )
+
+        for tier in ignem_config.destination_tiers():
+            registry.register_pull(
+                f"ignem.slave.tier.{tier}.resident_bytes", _tier_pull(tier)
+            )
         if self.obs.active:
             self.obs.attach_ignem(master, self.ignem_slaves)
         return master

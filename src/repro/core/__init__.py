@@ -14,7 +14,9 @@ from .policy import (
     FifoOrder,
     MigrationPolicy,
     SmallestJobFirst,
+    available_policies,
     make_policy,
+    register,
 )
 from .slave import IgnemSlave
 
@@ -30,5 +32,7 @@ __all__ = [
     "MigrationPolicy",
     "MigrationWorkItem",
     "SmallestJobFirst",
+    "available_policies",
     "make_policy",
+    "register",
 ]

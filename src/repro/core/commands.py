@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..dfs.blocks import Block
+from ..storage.tiers import MEM
 
 
 @dataclass(slots=True, unsafe_hash=True)
@@ -19,6 +20,13 @@ class MigrationWorkItem:
     can migrate from the tail of the job's scan order — mappers consume
     from the head, so tail-first migration avoids racing the scan front
     and wasting disk reads on blocks a task is about to read anyway.
+
+    Migrations are tier-addressed: ``dst_tier`` names the tier the block
+    moves into (the paper's design is always ``mem``) and ``src_tier``
+    optionally pins the tier it must be read from — ``None`` lets the
+    slave's DataNode resolve the highest tier below the destination that
+    holds the block, which is the paper's disk-to-memory path on the
+    default 2-tier hierarchy.
     """
 
     block: Block
@@ -27,6 +35,8 @@ class MigrationWorkItem:
     job_submitted_at: float
     implicit_eviction: bool
     order_hint: int = 0
+    dst_tier: str = MEM
+    src_tier: Optional[str] = None
     seq: int = field(default_factory=itertools.count().__next__)
     #: Stamped by the receiving slave (sim-time of queue entry) to
     #: measure queue waits; excluded from equality/hash so observability

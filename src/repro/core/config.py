@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..storage.device import GB, MB
+from ..storage.tiers import MEM
+from .policy import available_policies
 
 
 @dataclass(frozen=True)
@@ -58,6 +60,15 @@ class IgnemConfig:
       at most ``command_max_retries`` times, before the master falls
       back to re-routing the block's migration to another live replica
       holder (graceful degradation, III-A5).
+    * ``migration_tier`` — the destination tier migrations land in by
+      default (the paper's design migrates into ``mem``; an SSD capacity
+      tier is a preset choice on multi-tier hierarchies).
+    * ``tier_buffer_capacities`` — per-destination-tier caps on migrated
+      bytes as ``((tier, cap), ...)``; ``None`` applies
+      ``buffer_capacity`` to ``migration_tier`` alone, which is exactly
+      the paper's single-threshold design.  A slave keeps one ordered
+      migration queue (and its own do-not-harm accounting) per tier
+      listed here.
     """
 
     buffer_capacity: float = 16 * GB
@@ -75,6 +86,25 @@ class IgnemConfig:
     command_max_retries: int = 3
     command_backoff: float = 0.25
     command_backoff_factor: float = 2.0
+    migration_tier: str = MEM
+    tier_buffer_capacities: Optional[Tuple[Tuple[str, float], ...]] = None
+
+    def destination_tiers(self) -> Tuple[str, ...]:
+        """The tiers a slave accepts migrations into, in declared order."""
+        if self.tier_buffer_capacities is None:
+            return (self.migration_tier,)
+        return tuple(tier for tier, _cap in self.tier_buffer_capacities)
+
+    def buffer_capacity_for(self, tier: str) -> float:
+        """The migrated-bytes cap for one destination tier."""
+        if self.tier_buffer_capacities is None:
+            if tier != self.migration_tier:
+                raise ValueError(f"{tier!r} is not a migration destination")
+            return self.buffer_capacity
+        for name, cap in self.tier_buffer_capacities:
+            if name == tier:
+                return cap
+        raise ValueError(f"{tier!r} is not a migration destination")
 
     def __post_init__(self) -> None:
         if self.buffer_capacity <= 0:
@@ -83,8 +113,25 @@ class IgnemConfig:
             raise ValueError("cleanup_threshold must be in (0, 1]")
         if self.rpc_latency < 0:
             raise ValueError("rpc_latency must be non-negative")
-        if self.policy not in ("smallest-job-first", "fifo", "benefit-aware"):
+        if self.policy not in available_policies():
             raise ValueError(f"unknown policy {self.policy!r}")
+        if not self.migration_tier:
+            raise ValueError("migration_tier must be non-empty")
+        if self.tier_buffer_capacities is not None:
+            if not self.tier_buffer_capacities:
+                raise ValueError("tier_buffer_capacities must be None or non-empty")
+            tiers = [tier for tier, _cap in self.tier_buffer_capacities]
+            if len(set(tiers)) != len(tiers):
+                raise ValueError("tier_buffer_capacities has duplicate tiers")
+            if self.migration_tier not in tiers:
+                raise ValueError(
+                    "migration_tier must appear in tier_buffer_capacities"
+                )
+            for tier, cap in self.tier_buffer_capacities:
+                if not tier:
+                    raise ValueError("tier names must be non-empty")
+                if cap <= 0:
+                    raise ValueError(f"tier {tier!r}: capacity must be positive")
         if self.migration_concurrency < 1:
             raise ValueError("migration_concurrency must be >= 1")
         if self.replicas_to_migrate < 1:

@@ -11,7 +11,6 @@ the paper's "temporary performance loss, never a correctness loss".
 
 from __future__ import annotations
 
-import warnings
 from typing import List, Optional, Sequence
 
 from ..dfs.namenode import NameNode
@@ -22,25 +21,6 @@ from ..sim.rand import RandomSource
 from .config import IgnemConfig
 from .master import IgnemMaster
 from .slave import IgnemSlave
-
-
-def _deprecated_pair_counter(attr: str, metric: str) -> property:
-    """Deprecated pair-summed counter view; the shared registry (both
-    masters report into one :class:`MetricsRegistry`) is canonical."""
-
-    def getter(self):
-        warnings.warn(
-            f"HighAvailabilityMaster.{attr} is deprecated; read "
-            f"master.metrics.value({metric!r}) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(self.primary, "_" + attr) + getattr(
-            self.standby, "_" + attr
-        )
-
-    getter.__name__ = attr
-    return property(getter)
 
 
 class HighAvailabilityMaster:
@@ -129,9 +109,10 @@ class HighAvailabilityMaster:
         paths: Sequence[str],
         job_id: str,
         implicit_eviction: bool = False,
+        dst_tier: Optional[str] = None,
     ) -> None:
         self.active.request_migration(
-            paths, job_id, implicit_eviction=implicit_eviction
+            paths, job_id, implicit_eviction=implicit_eviction, dst_tier=dst_tier
         )
 
     def request_eviction(self, paths: Sequence[str], job_id: str) -> None:
@@ -159,20 +140,6 @@ class HighAvailabilityMaster:
     def command_tap(self, tap) -> None:
         self.primary.command_tap = tap
         self.standby.command_tap = tap
-
-    # Deprecated pair-summed counter views (PR 2 surface).
-    commands_sent = _deprecated_pair_counter(
-        "commands_sent", "ignem.master.commands_sent"
-    )
-    command_retries = _deprecated_pair_counter(
-        "command_retries", "ignem.master.command_retries"
-    )
-    commands_rerouted = _deprecated_pair_counter(
-        "commands_rerouted", "ignem.master.commands_rerouted"
-    )
-    commands_abandoned = _deprecated_pair_counter(
-        "commands_abandoned", "ignem.master.commands_abandoned"
-    )
 
     def handle_slave_failure(self, node: str) -> None:
         """Prune the crashed slave's routing state from both masters."""

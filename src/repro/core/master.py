@@ -9,7 +9,6 @@ per-slave command lists, and ships them over (simulated) RPC.
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..dfs.namenode import NameNode
@@ -22,35 +21,13 @@ from .config import IgnemConfig
 from .slave import IgnemSlave
 
 
-def _deprecated_counter(attr: str, metric: str) -> property:
-    """A read-only view over a private tally, warning on every access.
-
-    PR 2 exposed the master's RPC bookkeeping as plain public ints; the
-    registry is now the source of truth (``component.event`` names under
-    ``ignem.master.*``), and these views exist only so existing callers
-    keep working through a deprecation cycle.
-    """
-
-    def getter(self):
-        warnings.warn(
-            f"IgnemMaster.{attr} is deprecated; read "
-            f"master.metrics.value({metric!r}) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(self, "_" + attr)
-
-    getter.__name__ = attr
-    return property(getter)
-
-
 class IgnemMaster:
     """The migration coordinator.
 
     RPC/workload tallies live in a :class:`MetricsRegistry` under
     ``ignem.master.*`` (shared with the rest of the cluster when built
-    through :class:`~repro.cluster.Cluster`); the old public counter
-    attributes remain as deprecated views.
+    through :class:`~repro.cluster.Cluster`), read via
+    ``master.metrics.value("ignem.master.<event>")``.
     """
 
     def __init__(
@@ -87,15 +64,9 @@ class IgnemMaster:
         #: Observability facade; ``None`` is the zero-overhead clean path.
         self.obs = None
 
-        # Per-master truth behind the deprecated views.  The registry
-        # counters are shared instruments: an HA pair reporting into one
-        # registry naturally sums into cluster-wide totals.
-        self._migration_requests = 0
-        self._eviction_requests = 0
-        self._commands_sent = 0
-        self._command_retries = 0
-        self._commands_rerouted = 0
-        self._commands_abandoned = 0
+        # The registry counters are shared instruments: an HA pair
+        # reporting into one registry naturally sums into cluster-wide
+        # totals.
         metrics = self.metrics
         self._c_migration_requests = metrics.counter(
             "ignem.master.migration_requests"
@@ -107,26 +78,6 @@ class IgnemMaster:
         self._c_retries = metrics.counter("ignem.master.command_retries")
         self._c_rerouted = metrics.counter("ignem.master.commands_rerouted")
         self._c_abandoned = metrics.counter("ignem.master.commands_abandoned")
-
-    # Deprecated counter views (PR 2 surface); the registry is canonical.
-    migration_requests = _deprecated_counter(
-        "migration_requests", "ignem.master.migration_requests"
-    )
-    eviction_requests = _deprecated_counter(
-        "eviction_requests", "ignem.master.eviction_requests"
-    )
-    commands_sent = _deprecated_counter(
-        "commands_sent", "ignem.master.commands_sent"
-    )
-    command_retries = _deprecated_counter(
-        "command_retries", "ignem.master.command_retries"
-    )
-    commands_rerouted = _deprecated_counter(
-        "commands_rerouted", "ignem.master.commands_rerouted"
-    )
-    commands_abandoned = _deprecated_counter(
-        "commands_abandoned", "ignem.master.commands_abandoned"
-    )
 
     # -- topology -----------------------------------------------------------------
 
@@ -148,16 +99,25 @@ class IgnemMaster:
         paths: Sequence[str],
         job_id: str,
         implicit_eviction: bool = False,
+        dst_tier: Optional[str] = None,
     ) -> None:
         """Handle a job submitter's migrate call.
 
-        Requests to a dead master are lost (the client retries against the
-        replacement master in a real deployment; the paper accepts the
-        temporary performance loss, III-A5).
+        ``dst_tier`` names the tier the job's blocks should land in;
+        ``None`` uses the configured default (``mem`` — the paper's
+        design).  Requests to a dead master are lost (the client retries
+        against the replacement master in a real deployment; the paper
+        accepts the temporary performance loss, III-A5).
         """
         if not self.alive:
             return
-        self._migration_requests += 1
+        if dst_tier is None:
+            dst_tier = self.config.migration_tier
+        elif dst_tier not in self.config.destination_tiers():
+            raise ValueError(
+                f"{dst_tier!r} is not a configured migration destination "
+                f"(destinations: {', '.join(self.config.destination_tiers())})"
+            )
         self._c_migration_requests.inc()
         job_input_bytes = self.namenode.total_bytes(paths)
         submitted_at = self.env.now
@@ -196,6 +156,7 @@ class IgnemMaster:
                             job_submitted_at=submitted_at,
                             implicit_eviction=implicit_eviction,
                             order_hint=order_hint,
+                            dst_tier=dst_tier,
                         )
                     )
                 order_hint += 1
@@ -207,7 +168,6 @@ class IgnemMaster:
         """Handle a job submitter's evict call (job completed)."""
         if not self.alive:
             return
-        self._eviction_requests += 1
         self._c_eviction_requests.inc()
         batches: Dict[str, List[str]] = {}
         for path in paths:
@@ -269,7 +229,6 @@ class IgnemMaster:
         abandons the work.  ``tried`` carries the nodes already attempted
         for this work so a re-route never bounces between dead slaves.
         """
-        self._commands_sent += 1
         self._c_sent.inc()
         if self.obs is not None:
             self.obs.on_master_command("sent", node, kind, command.job_id)
@@ -300,7 +259,6 @@ class IgnemMaster:
                 return
             if attempt >= cfg.command_max_retries:
                 break
-            self._command_retries += 1
             self._c_retries.inc()
             if self.obs is not None:
                 self.obs.on_master_command("retry", node, kind, command.job_id)
@@ -320,7 +278,6 @@ class IgnemMaster:
         if kind == "evict":
             # The dead slave's restart purges its references anyway
             # (III-A5), so the eviction is moot — just drop it.
-            self._commands_abandoned += 1
             self._c_abandoned.inc()
             if self.obs is not None:
                 self.obs.on_master_command(
@@ -355,7 +312,6 @@ class IgnemMaster:
                     self._assignments[key] = kept
                 else:
                     self._assignments.pop(key, None)
-                self._commands_abandoned += 1
                 self._c_abandoned.inc()
                 if self.obs is not None:
                     self.obs.on_master_command(
@@ -370,7 +326,6 @@ class IgnemMaster:
             self._assignments[key] = kept + (chosen,)
             batches.setdefault(chosen, []).append(item)
         for new_node, items in batches.items():
-            self._commands_rerouted += 1
             self._c_rerouted.inc()
             if self.obs is not None:
                 self.obs.on_master_command(

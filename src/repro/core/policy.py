@@ -1,6 +1,6 @@
 """Migration-queue ordering policies (paper Sections III-A1, IV-C5, IV-E).
 
-Three policies:
+Three built-in policies:
 
 * :class:`SmallestJobFirst` — the paper's choice;
 * :class:`FifoOrder` — the IV-C5 ablation baseline;
@@ -8,14 +8,45 @@ Three policies:
   IV-E: "A migration scheme that can infer the Ignem speed-up curve for
   different jobs can potentially use this information to prioritize jobs
   which will benefit more."
+
+Policies are selected *by name* through a registry: :func:`register`
+maps a name to a factory ``(reverse_within_job: bool) -> MigrationPolicy``
+and :func:`make_policy` instantiates one.  ``IgnemConfig`` validates its
+``policy`` field against :func:`available_policies`, so an experiment
+(or test ablation) can plug in a new ordering without touching config or
+slave code.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Callable, Dict, Tuple
 
 from ..storage.device import MB
 from .commands import MigrationWorkItem
+
+#: Registered policy factories, keyed by policy name.
+_REGISTRY: Dict[str, Callable[[bool], "MigrationPolicy"]] = {}
+
+
+def register(name: str, factory: Callable[[bool], "MigrationPolicy"]) -> None:
+    """Register a policy factory under ``name`` (last write wins, so a
+    test can shadow a built-in and restore it afterwards)."""
+    if not name:
+        raise ValueError("policy name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def available_policies() -> Tuple[str, ...]:
+    """The registered policy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_policy(name: str, reverse_within_job: bool = True) -> "MigrationPolicy":
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(available_policies())
+        raise ValueError(f"unknown migration policy {name!r} (known: {known})")
+    return factory(reverse_within_job)
 
 
 class MigrationPolicy:
@@ -105,11 +136,6 @@ class BenefitAware(MigrationPolicy):
         )
 
 
-def make_policy(name: str, reverse_within_job: bool = True) -> MigrationPolicy:
-    if name == "smallest-job-first":
-        return SmallestJobFirst(reverse_within_job)
-    if name == "fifo":
-        return FifoOrder(reverse_within_job)
-    if name == "benefit-aware":
-        return BenefitAware(reverse_within_job)
-    raise ValueError(f"unknown migration policy {name!r}")
+register(SmallestJobFirst.name, SmallestJobFirst)
+register(FifoOrder.name, FifoOrder)
+register(BenefitAware.name, BenefitAware)

@@ -2,14 +2,18 @@
 
 Controls *how* and *when* blocks move into memory (paper Section III-A):
 
-* incoming work queues in priority order (smallest-job-first by default);
-* one block migrates at a time, at full sequential disk bandwidth;
+* incoming work queues in priority order (smallest-job-first by default),
+  one ordered queue per destination tier (the paper's design is the
+  single ``mem`` queue);
+* one block migrates at a time per tier, at full sequential bandwidth of
+  the tier it reads from;
 * migration is work-conserving — pending work never waits behind nothing;
 * per-block reference lists of job IDs govern eviction: explicit on job
   completion, implicit on read (opt-in), plus a scheduler liveness sweep
   under memory pressure (III-A4);
-* the *Do-not-harm* rule: when the migration buffer is full, new blocks
-  wait — migrated data is never evicted to admit them (III-A3).
+* the *Do-not-harm* rule, applied per destination tier: when a tier's
+  migration buffer is full, new blocks wait — migrated data is never
+  evicted to admit them (III-A3).
 """
 
 from __future__ import annotations
@@ -53,15 +57,30 @@ class IgnemSlave:
         )
         self.name = datanode.name
 
-        self.queue: PriorityStore = PriorityStore(env)
+        destinations = self.config.destination_tiers()
+        #: One ordered migration queue per destination tier.
+        self.tier_queues: Dict[str, PriorityStore] = {
+            tier: PriorityStore(env) for tier in destinations
+        }
+        #: The default destination tier's queue (the paper's single queue).
+        self.queue: PriorityStore = self.tier_queues[self.config.migration_tier]
         self._refs: Dict[str, Set[str]] = {}
         self._implicit_jobs: Set[str] = set()
         self._migrated: Dict[str, float] = {}
+        self._migrated_tier: Dict[str, str] = {}
         self._migrated_meta: Dict[str, Tuple[float, float]] = {}
         self.migrated_bytes = 0.0
+        #: Per-destination-tier migrated-bytes totals.
+        self.tier_bytes: Dict[str, float] = {tier: 0.0 for tier in destinations}
         #: (time, migrated_bytes) after every change — Fig 7's raw data.
         self.usage_timeline: List[Tuple[float, float]] = [(env.now, 0.0)]
-        self._space_freed: Event = env.event()
+        #: Per-tier usage timelines (the per-tier buffer-cap oracle's data).
+        self.tier_usage_timeline: Dict[str, List[Tuple[float, float]]] = {
+            tier: [(env.now, 0.0)] for tier in destinations
+        }
+        self._space_freed: Dict[str, Event] = {
+            tier: env.event() for tier in destinations
+        }
         self.alive = True
         #: Observability facade; ``None`` is the zero-overhead clean path.
         self.obs = None
@@ -81,8 +100,14 @@ class IgnemSlave:
         self._h_migration = metrics.histogram("ignem.slave.migration_seconds")
 
         datanode.on_block_read = self._on_block_read
-        for index in range(self.config.migration_concurrency):
-            env.process(self._worker(), name=f"ignem-slave-{self.name}-w{index}")
+        for tier in destinations:
+            # The default tier's workers keep their historical names.
+            suffix = "" if tier == self.config.migration_tier else f"-{tier}"
+            for index in range(self.config.migration_concurrency):
+                env.process(
+                    self._worker(tier),
+                    name=f"ignem-slave-{self.name}{suffix}-w{index}",
+                )
 
     # -- command intake (from the master) --------------------------------------
 
@@ -96,13 +121,20 @@ class IgnemSlave:
             return False
         now = self.env.now
         for item in command.items:
+            queue = self.tier_queues.get(item.dst_tier)
+            if queue is None:
+                raise ValueError(
+                    f"slave {self.name} has no migration queue for tier "
+                    f"{item.dst_tier!r} (destinations: "
+                    f"{', '.join(self.tier_queues)})"
+                )
             refs = self._refs.setdefault(item.block_id, set())
             refs.add(item.job_id)
             self._c_refs_added.inc()
             if item.implicit_eviction:
                 self._implicit_jobs.add(item.job_id)
             item.received_at = now
-            self.queue.put_nowait(PriorityItem(self.policy.priority(item), item))
+            queue.put_nowait(PriorityItem(self.policy.priority(item), item))
         return True
 
     def receive_evict(self, command: EvictCommand) -> bool:
@@ -135,9 +167,13 @@ class IgnemSlave:
         :attr:`migrated_bytes` up to float noise (accounting invariant)."""
         return sum(self._migrated.values())
 
+    def migrated_tier(self, block_id: str):
+        """The destination tier a migrated block resides in (or None)."""
+        return self._migrated_tier.get(block_id)
+
     @property
     def pending_migrations(self) -> int:
-        return len(self.queue.items)
+        return sum(len(queue.items) for queue in self.tier_queues.values())
 
     # -- failure handling --------------------------------------------------------------
 
@@ -151,7 +187,8 @@ class IgnemSlave:
             self._release_block(block_id, reason=reason)
         self._refs.clear()
         self._implicit_jobs.clear()
-        self.queue.remove(lambda _entry: True)
+        for queue in self.tier_queues.values():
+            queue.remove(lambda _entry: True)
 
     def fail(self) -> None:
         """Kill the slave process; the OS reclaims all pinned memory."""
@@ -164,14 +201,17 @@ class IgnemSlave:
 
     # -- migration worker -------------------------------------------------------------
 
-    def _worker(self):
+    def _worker(self, tier: str):
+        queue = self.tier_queues[tier]
         while True:
-            entry = yield self.queue.get()
+            entry = yield queue.get()
             yield from self._handle(entry.item)
 
     def _handle(self, item: MigrationWorkItem):
         block = item.block
         block_id = item.block_id
+        tier = item.dst_tier
+        capacity = self.config.buffer_capacity_for(tier)
         enqueued_at = self.env.now
         self._h_queue_wait.observe(max(0.0, enqueued_at - item.received_at))
 
@@ -185,22 +225,21 @@ class IgnemSlave:
         if block_id in self._migrated:
             return  # another job's command already migrated it
 
-        # Capacity gate (paper III-B2): wait for space, never evict
-        # not-yet-read blocks to make room (Do-not-harm, III-A3) — unless
-        # the ablation config allows preempting blocks of later jobs.
-        while (
-            self.migrated_bytes + block.nbytes > self.config.buffer_capacity
-        ):
+        # Capacity gate (paper III-B2), per destination tier: wait for
+        # space, never evict not-yet-read blocks to make room
+        # (Do-not-harm, III-A3) — unless the ablation config allows
+        # preempting blocks of later jobs.
+        while self.tier_bytes[tier] + block.nbytes > capacity:
             self._maybe_cleanup_dead_jobs()
-            if self.migrated_bytes + block.nbytes <= self.config.buffer_capacity:
+            if self.tier_bytes[tier] + block.nbytes <= capacity:
                 break
             if not self.config.do_not_harm and self._evict_victim(item):
                 continue
-            # Do-not-harm stall (paper III-A3): the buffer is full and
-            # migrated data is never evicted to admit new blocks.
+            # Do-not-harm stall (paper III-A3): the tier's buffer is full
+            # and migrated data is never evicted to admit new blocks.
             self._c_dnh_waits.inc()
             wait_start = self.env.now
-            yield self._wait_for_space()
+            yield self._wait_for_space(tier)
             if self.obs is not None:
                 self.obs.on_do_not_harm_wait(
                     self.name, block_id, item.job_id, wait_start
@@ -217,13 +256,14 @@ class IgnemSlave:
         if block_id in self._migrated:
             return
 
-        # Optional Aqueduct-style throttle: hold off while the disk is
-        # already serving many foreground streams, bounding migration's
-        # impact on foreground reads (IgnemConfig.busy_threshold).
+        # Optional Aqueduct-style throttle: hold off while the source
+        # device is already serving many foreground streams, bounding
+        # migration's impact on foreground reads (busy_threshold).
         if self.config.busy_threshold is not None:
             while (
                 self.datanode.alive
-                and self.datanode.disk.active_transfers >= self.config.busy_threshold
+                and self.datanode.migration_source(block_id, tier).active_transfers
+                >= self.config.busy_threshold
             ):
                 yield self.env.timeout(self.config.busy_poll_interval)
                 if not self._refs.get(block_id):
@@ -235,8 +275,8 @@ class IgnemSlave:
             self._record_migration(item, enqueued_at, outcome="cancelled")
             return
         try:
-            yield self.datanode.migrate_block_to_memory(
-                block, rate_cap=self.config.migration_read_rate
+            yield self.datanode.migrate_block_to_tier(
+                block, tier, rate_cap=self.config.migration_read_rate
             )
         except DataNodeError:
             # The DataNode died mid-read: the partial pages are gone with
@@ -246,16 +286,17 @@ class IgnemSlave:
 
         # Reads may have raced with the migration and emptied the list.
         if not self._refs.get(block_id):
-            self.datanode.evict_block_from_memory(block_id)
+            self.datanode.evict_block_from_tier(block_id, tier)
             self._record_migration(item, enqueued_at, outcome="cancelled")
             return
 
         self._migrated[block_id] = block.nbytes
+        self._migrated_tier[block_id] = tier
         self._migrated_meta[block_id] = (
             item.job_input_bytes,
             item.job_submitted_at,
         )
-        self._account(block.nbytes)
+        self._account(block.nbytes, tier)
         self.collector.record_migration(
             MigrationRecord(
                 job_id=item.job_id,
@@ -302,8 +343,9 @@ class IgnemSlave:
         self._migrated_meta.pop(block_id, None)
         if nbytes is None:
             return
-        self.datanode.evict_block_from_memory(block_id)
-        self._account(-nbytes)
+        tier = self._migrated_tier.pop(block_id, self.config.migration_tier)
+        self.datanode.evict_block_from_tier(block_id, tier)
+        self._account(-nbytes, tier)
         self.collector.record_eviction(
             EvictionRecord(
                 block_id=block_id,
@@ -315,8 +357,8 @@ class IgnemSlave:
         )
         self.metrics.counter(f"ignem.slave.evictions.{reason}").inc()
         if self.obs is not None:
-            self.obs.on_eviction(self.name, block_id, nbytes, reason)
-        self._signal_space()
+            self.obs.on_eviction(self.name, block_id, nbytes, reason, tier)
+        self._signal_space(tier)
 
     def cleanup_dead_jobs(self, force: bool = False) -> None:
         """Liveness sweep (paper III-A4): drop references held by jobs the
@@ -327,7 +369,12 @@ class IgnemSlave:
         if self.rm is None:
             return
         if not force:
-            occupancy = self.migrated_bytes / self.config.buffer_capacity
+            # Pressure = the fullest destination tier (identical to the
+            # historical single-buffer formula on the default config).
+            occupancy = max(
+                self.tier_bytes[tier] / self.config.buffer_capacity_for(tier)
+                for tier in self.tier_bytes
+            )
             if occupancy < self.config.cleanup_threshold:
                 return
         dead_jobs = {
@@ -347,13 +394,16 @@ class IgnemSlave:
 
     def _evict_victim(self, incoming: MigrationWorkItem) -> bool:
         """Ablation path (do_not_harm=False): evict the migrated block of
-        the largest / latest job to admit the incoming block.  Never evicts
-        blocks belonging to jobs smaller than the incoming one — that would
-        be strictly harmful even under the aggressive policy."""
+        the largest / latest job to admit the incoming block.  Only blocks
+        resident in the incoming block's destination tier free the right
+        space; never evicts blocks belonging to jobs smaller than the
+        incoming one — that would be strictly harmful even under the
+        aggressive policy."""
         candidates = [
             (meta, block_id)
             for block_id, meta in self._migrated_meta.items()
             if meta > (incoming.job_input_bytes, incoming.job_submitted_at)
+            and self._migrated_tier.get(block_id) == incoming.dst_tier
         ]
         if not candidates:
             return False
@@ -364,18 +414,19 @@ class IgnemSlave:
         self._release_block(victim, reason="preempted")
         return True
 
-    def _wait_for_space(self) -> Event:
-        if self._space_freed.triggered:
-            self._space_freed = self.env.event()
-        return self._space_freed
+    def _wait_for_space(self, tier: str) -> Event:
+        if self._space_freed[tier].triggered:
+            self._space_freed[tier] = self.env.event()
+        return self._space_freed[tier]
 
-    def _signal_space(self) -> None:
-        if not self._space_freed.triggered:
-            self._space_freed.succeed()
+    def _signal_space(self, tier: str) -> None:
+        event = self._space_freed.get(tier)
+        if event is not None and not event.triggered:
+            event.succeed()
 
     # -- accounting ----------------------------------------------------------------------
 
-    def _account(self, delta: float) -> None:
+    def _account(self, delta: float, tier: str) -> None:
         self.migrated_bytes += delta
         if self.migrated_bytes < 0:
             # Fractional final blocks make the +/- sums float-inexact;
@@ -385,7 +436,18 @@ class IgnemSlave:
                     f"negative migrated_bytes on {self.name}: {self.migrated_bytes}"
                 )
             self.migrated_bytes = 0.0
+        per_tier = self.tier_bytes.get(tier, 0.0) + delta
+        if per_tier < 0:
+            if per_tier < -1.0:
+                raise AssertionError(
+                    f"negative tier bytes on {self.name}/{tier}: {per_tier}"
+                )
+            per_tier = 0.0
+        self.tier_bytes[tier] = per_tier
         self.usage_timeline.append((self.env.now, self.migrated_bytes))
+        self.tier_usage_timeline.setdefault(tier, []).append(
+            (self.env.now, per_tier)
+        )
         self.collector.record_memory_sample(
             MemorySample(self.name, self.env.now, self.migrated_bytes)
         )

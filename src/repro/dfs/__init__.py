@@ -8,10 +8,14 @@ reads, write-back writes, and the Ignem ``migrate``/``evict`` extension).
 from .blocks import DEFAULT_BLOCK_SIZE, Block, FileMetadata, split_into_blocks
 from .client import ClientRead, DFSClient
 from .datanode import DataNode, DataNodeError, ReadHandle
+from .memory_index import MemoryLocalityIndex
 from .namenode import NameNode, NameNodeError
 from .replication import ReplicationMonitor
+from .tier_index import TierLocalityIndex
 
 __all__ = [
+    "MemoryLocalityIndex",
+    "TierLocalityIndex",
     "DEFAULT_BLOCK_SIZE",
     "Block",
     "ClientRead",

@@ -1,10 +1,15 @@
 """DataNode: block storage on one server.
 
-Each DataNode owns a disk device (HDD or SSD), a RAM device for page-cache
-reads, and a :class:`~repro.storage.BufferCache`.  The Ignem slave (when
-enabled) lives inside the DataNode exactly as the paper implements it
-inside the HDFS DataNode process, and hooks the read path for implicit
-eviction.
+Each DataNode owns an ordered :class:`~repro.storage.NodeTierSet`: a
+backing store at the bottom (HDD or SSD) holding every replica, and one
+:class:`~repro.storage.BufferCache`-tracked upper tier per faster medium
+(the default preset has exactly one — memory — matching the paper).  The
+Ignem slave (when enabled) lives inside the DataNode exactly as the
+paper implements it inside the HDFS DataNode process, and hooks the read
+path for implicit eviction.
+
+``disk``, ``ram`` and ``cache`` remain as aliases for the bottom device,
+top device and top cache, so 2-tier callers read exactly as before.
 """
 
 from __future__ import annotations
@@ -15,7 +20,8 @@ from ..sim.engine import Environment
 from ..sim.events import Event
 from ..storage.buffer_cache import BufferCache
 from ..storage.device import GB, TransferDevice
-from ..storage.presets import make_hdd, make_ram
+from ..storage.presets import HDD_TIER, MEM_TIER, SSD_TIER, make_hdd, make_ram
+from ..storage.tiers import NodeTier, NodeTierSet
 from .blocks import Block
 
 
@@ -45,6 +51,12 @@ class DataNode:
         and all runs start with flushed caches.
     disk_capacity:
         Disk capacity in bytes (the paper's servers have a 1TB HDD).
+    tiers:
+        Pre-built :class:`~repro.storage.NodeTierSet` (devices only; the
+        DataNode attaches the per-tier caches).  When given, ``disk``,
+        ``ram`` and ``cache_capacity`` are ignored — the tier set is the
+        hierarchy.  When omitted, the classic 2-tier stack is built from
+        the other parameters exactly as before.
     """
 
     def __init__(
@@ -56,6 +68,7 @@ class DataNode:
         cache_capacity: float = 128 * GB,
         cache_reads: bool = False,
         disk_capacity: float = 1024 * GB,
+        tiers: Optional[NodeTierSet] = None,
     ):
         if disk_capacity <= 0:
             raise ValueError("disk_capacity must be positive")
@@ -63,9 +76,31 @@ class DataNode:
         self.name = name
         self.disk_capacity = float(disk_capacity)
         self.disk_used = 0.0
-        self.disk = disk if disk is not None else make_hdd(env, f"hdd-{name}")
-        self.ram = ram if ram is not None else make_ram(env, f"ram-{name}")
-        self.cache = BufferCache(env, capacity=cache_capacity, flush_device=self.disk)
+        if tiers is None:
+            disk = disk if disk is not None else make_hdd(env, f"hdd-{name}")
+            ram = ram if ram is not None else make_ram(env, f"ram-{name}")
+            bottom_spec = SSD_TIER if "ssd" in disk.name.lower() else HDD_TIER
+            tiers = NodeTierSet(
+                [
+                    NodeTier(MEM_TIER, ram, cache_capacity),
+                    NodeTier(bottom_spec, disk, disk_capacity),
+                ]
+            )
+        if len(tiers) < 2:
+            raise ValueError("a DataNode needs at least two tiers")
+        self.tiers = tiers
+        self.disk = tiers.bottom.device
+        self.ram = tiers.top.device
+        # Upper-tier caches are attached here (not in the tier builder) so
+        # flush wiring stays a DataNode concern: only the top cache
+        # write-absorbs, and dirty entries flush to the backing store.
+        for tier in tiers.upper:
+            tier.cache = BufferCache(
+                env,
+                capacity=tier.capacity,
+                flush_device=self.disk if tier is tiers.top else None,
+            )
+        self.cache = tiers.top.cache
         self.cache_reads = cache_reads
         self.alive = True
 
@@ -74,33 +109,41 @@ class DataNode:
         #: read served by this node.  Ignem's slave uses it for implicit
         #: eviction; HDFS read calls carry the job ID (paper III-B2).
         self.on_block_read: Optional[Callable[[Block, Optional[str]], None]] = None
-        #: Residency-delta subscriber (the NameNode's memory-locality
-        #: index); receives ``(node_name, key, resident)``.
-        self._residency_listener: Optional[Callable[[str, str, bool], None]] = None
+        #: Residency-delta subscriber (the NameNode's tier index);
+        #: receives ``(node_name, tier_name, key, resident)``.
+        self._residency_listener: Optional[
+            Callable[[str, str, str, bool], None]
+        ] = None
 
     # -- residency delta publication -----------------------------------------
 
     def attach_residency_listener(
-        self, listener: Callable[[str, str, bool], None]
+        self, listener: Callable[[str, str, str, bool], None]
     ) -> None:
-        """Start pushing buffer-cache residency deltas to ``listener``.
+        """Start pushing per-tier residency deltas to ``listener``.
 
-        Deltas carry ``(node_name, key, resident)`` and cover every way a
-        key can (stop) being RAM-resident: migration pin-ins, read-path
-        caching, write absorption, LRU eviction, explicit eviction, and
-        the cache flush of a node failure.
+        Deltas carry ``(node_name, tier_name, key, resident)`` and cover
+        every way a key can (stop) being resident in an upper tier:
+        migration pin-ins, read-path caching, write absorption, LRU
+        eviction, explicit eviction, and the cache flush of a node
+        failure.
         """
         self._residency_listener = listener
-        self.cache.on_residency_change = self._publish_residency
+        for tier in self.tiers.upper:
+            tier.cache.on_residency_change = self._tier_publisher(tier.spec.name)
 
     def detach_residency_listener(self) -> None:
         self._residency_listener = None
-        self.cache.on_residency_change = None
+        for tier in self.tiers.upper:
+            tier.cache.on_residency_change = None
 
-    def _publish_residency(self, key, resident: bool) -> None:
-        listener = self._residency_listener
-        if listener is not None:
-            listener(self.name, key, resident)
+    def _tier_publisher(self, tier_name: str) -> Callable[[str, bool], None]:
+        def publish(key, resident: bool) -> None:
+            listener = self._residency_listener
+            if listener is not None:
+                listener(self.name, tier_name, key, resident)
+
+        return publish
 
     # -- block placement ----------------------------------------------------
 
@@ -130,13 +173,24 @@ class DataNode:
         dropped = self._blocks.pop(block_id, None)
         if dropped is not None:
             self.disk_used = max(0.0, self.disk_used - dropped.nbytes)
-        self.cache.evict(block_id)
+        for tier in self.tiers.upper:
+            tier.cache.evict(block_id)
 
     # -- read / write paths ----------------------------------------------------
 
     def block_in_memory(self, block_id: str) -> bool:
         """Whether a read of ``block_id`` would be served from RAM."""
         return self.alive and self.cache.peek(block_id)
+
+    def block_tier(self, block_id: str) -> Optional[str]:
+        """The tier a read of ``block_id`` would be served from, or
+        ``None`` if this node does not store the block at all."""
+        if not self.alive or block_id not in self._blocks:
+            return None
+        for tier in self.tiers.upper:
+            if tier.cache.peek(block_id):
+                return tier.spec.name
+        return self.tiers.bottom.spec.name
 
     def read_block(self, block: Block, job_id: Optional[str] = None) -> "ReadHandle":
         """Serve a block read; returns a handle with the done event and
@@ -145,9 +199,13 @@ class DataNode:
         if block.block_id not in self._blocks:
             raise DataNodeError(f"{self.name} does not store {block.block_id}")
 
-        if self.cache.contains(block.block_id):
-            source = "ram"
-            done = self.ram.transfer(block.nbytes, tag=("read", block.block_id))
+        for tier in self.tiers.upper:
+            if tier.cache.contains(block.block_id):
+                source = tier.spec.source
+                done = tier.device.transfer(
+                    block.nbytes, tag=("read", block.block_id)
+                )
+                break
         else:
             source = self._disk_kind()
             done = self.disk.transfer(block.nbytes, tag=("read", block.block_id))
@@ -188,45 +246,90 @@ class DataNode:
 
     # -- migration support (used by the Ignem slave) ---------------------------
 
-    def migrate_block_to_memory(
-        self, block: Block, rate_cap: Optional[float] = None
-    ) -> Event:
-        """Read a block sequentially from disk and pin it in the cache.
+    def migration_source(self, block_id: str, dst_tier: str) -> TransferDevice:
+        """The device a migration into ``dst_tier`` would read from: the
+        highest tier below the destination currently holding the block
+        (the backing store holds every replica by definition)."""
+        dst = self._upper_tier(dst_tier)
+        below = False
+        for tier in self.tiers.upper:
+            if tier is dst:
+                below = True
+                continue
+            if below and tier.cache.peek(block_id):
+                return tier.device
+        return self.disk
 
-        This is the mmap+mlock path of paper Section III-B1: the data
-        lands in the OS buffer cache, locked against page-out.  The
-        page-fault-driven read path is self-limited well below raw disk
-        bandwidth, which ``rate_cap`` models; the slack stays available
-        to foreground readers.  The returned event fires when the block
-        is fully resident.
+    def migrate_block_to_tier(
+        self, block: Block, dst_tier: str, rate_cap: Optional[float] = None
+    ) -> Event:
+        """Read a block sequentially from below and pin it in ``dst_tier``.
+
+        This is the mmap+mlock path of paper Section III-B1 generalized
+        across tiers: the data lands pinned in the destination tier's
+        cache, locked against page-out.  The page-fault-driven read path
+        is self-limited well below raw device bandwidth, which
+        ``rate_cap`` models; the slack stays available to foreground
+        readers.  The returned event fires when the block is fully
+        resident.  If a lower upper tier held the block, its copy is
+        released on arrival (a replica occupies one upper tier at a
+        time).
         """
         self._ensure_alive()
         if block.block_id not in self._blocks:
             raise DataNodeError(f"{self.name} does not store {block.block_id}")
-        if self.cache.peek(block.block_id):
-            self.cache.pin(block.block_id)
+        dst = self._upper_tier(dst_tier)
+        if dst.cache.peek(block.block_id):
+            dst.cache.pin(block.block_id)
             done = Event(self.env)
             done.succeed(None)
             return done
-        done = self.disk.transfer(
+        source = self.migration_source(block.block_id, dst_tier)
+        done = source.transfer(
             block.nbytes, tag=("migrate", block.block_id), rate_cap=rate_cap
         )
+
         # Guarded pin-in: a migration read that was still in its device
         # latency window when the node died can complete *after* the
-        # failure flushed the cache; inserting then would publish a
+        # failure flushed the caches; inserting then would publish a
         # residency delta for a dead node and leave a stale entry in the
-        # NameNode's memory-locality index.
-        done.callbacks.append(
-            lambda event: self.cache.insert(block.block_id, block.nbytes, pinned=True)
-            if event._ok and self.alive
-            else None
-        )
+        # NameNode's tier index.
+        def arrive(event) -> None:
+            if not event._ok or not self.alive:
+                return
+            dst.cache.insert(block.block_id, block.nbytes, pinned=True)
+            for tier in self.tiers.upper:
+                if tier is not dst and tier.cache.peek(block.block_id):
+                    tier.cache.evict(block.block_id)
+
+        done.callbacks.append(arrive)
         return done
 
+    def migrate_block_to_memory(
+        self, block: Block, rate_cap: Optional[float] = None
+    ) -> Event:
+        """Back-compat wrapper: migrate into the top (memory) tier."""
+        return self.migrate_block_to_tier(
+            block, self.tiers.top.spec.name, rate_cap=rate_cap
+        )
+
+    def evict_block_from_tier(self, block_id: str, tier_name: str) -> bool:
+        """munmap: release a pinned block from one upper tier (no
+        write-back — input data is read-only, paper Section III-B1)."""
+        return self._upper_tier(tier_name).cache.evict(block_id)
+
     def evict_block_from_memory(self, block_id: str) -> bool:
-        """munmap: release a pinned block (no write-back — input data is
-        read-only, paper Section III-B1)."""
+        """Back-compat wrapper: evict from the top (memory) tier."""
         return self.cache.evict(block_id)
+
+    def _upper_tier(self, tier_name: str) -> NodeTier:
+        tier = self.tiers.get(tier_name)
+        if tier is None or tier.cache is None:
+            raise DataNodeError(
+                f"{self.name} has no migratable tier {tier_name!r} "
+                f"(tiers: {'/'.join(self.tiers.names())})"
+            )
+        return tier
 
     # -- failure handling ---------------------------------------------------------
 
@@ -240,9 +343,15 @@ class DataNode:
         NameNode's memory-locality index consistent.
         """
         self.alive = False
-        self.disk.fail_all(DataNodeError(f"DataNode {self.name} died mid-transfer"))
-        self.ram.fail_all(DataNodeError(f"DataNode {self.name} died mid-transfer"))
-        self.cache.flush_all()
+        # Devices fail bottom-up (disk first, as before), then every
+        # upper-tier cache flushes top-down — the 2-tier order is exactly
+        # the historical disk / ram / cache sequence.
+        for tier in reversed(self.tiers.tiers):
+            tier.device.fail_all(
+                DataNodeError(f"DataNode {self.name} died mid-transfer")
+            )
+        for tier in self.tiers.upper:
+            tier.cache.flush_all()
 
     def restart(self) -> None:
         """Restart the process on the same server; disk blocks survive."""

@@ -10,9 +10,10 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from ..sim.rand import RandomSource
+from ..storage.tiers import MEM
 from .blocks import DEFAULT_BLOCK_SIZE, Block, FileMetadata, split_into_blocks
 from .datanode import DataNode
-from .memory_index import MemoryLocalityIndex
+from .tier_index import TierLocalityIndex
 
 
 class NameNodeError(Exception):
@@ -42,9 +43,13 @@ class NameNode:
         self._datanodes: Dict[str, DataNode] = {}
         self._namespace: Dict[str, FileMetadata] = {}
         self._locations: Dict[str, List[str]] = {}
-        #: Push-maintained ``block_id -> nodes-with-block-in-RAM`` map, fed
-        #: by DataNode residency deltas (see :mod:`repro.dfs.memory_index`).
-        self.locality_index = MemoryLocalityIndex()
+        #: Push-maintained per-tier ``block_id -> nodes`` maps, fed by
+        #: DataNode residency deltas (see :mod:`repro.dfs.tier_index`).
+        self.tier_index = TierLocalityIndex()
+        #: The memory tier's sub-index.  Kept as a first-class attribute:
+        #: the scheduler's fast path subscribes to this exact object via
+        #: ``add_listener`` (see :mod:`repro.dfs.memory_index`).
+        self.locality_index = self.tier_index.tier(MEM)
 
     # -- cluster membership ----------------------------------------------------
 
@@ -74,10 +79,10 @@ class NameNode:
         for block_id, nodes in self._locations.items():
             if name in nodes:
                 nodes.remove(name)
-        self.locality_index.purge_node(name)
+        self.tier_index.purge_node(name)
 
-    def _on_residency_delta(self, node: str, key, resident: bool) -> None:
-        """Fold one DataNode buffer-cache delta into the locality index.
+    def _on_residency_delta(self, node: str, tier: str, key, resident: bool) -> None:
+        """Fold one DataNode tier-residency delta into the tier index.
 
         Buffer caches also hold non-DFS keys (shuffle spills); only keys
         that name a known block enter the index.  Eviction deltas for
@@ -85,7 +90,7 @@ class NameNode:
         """
         if resident and key not in self._locations:
             return
-        self.locality_index.update(node, key, resident)
+        self.tier_index.update(node, tier, key, resident)
 
     # -- namespace operations ------------------------------------------------------
 
@@ -189,6 +194,21 @@ class NameNode:
     def memory_nodes(self, block_id: str) -> FrozenSet[str]:
         """Unordered O(1) variant of :meth:`memory_locations`."""
         return self.locality_index.nodes(block_id)
+
+    def tier_nodes(self, block_id: str, tier: str) -> FrozenSet[str]:
+        """Nodes holding ``block_id`` in upper tier ``tier`` (O(1))."""
+        return self.tier_index.nodes(tier, block_id)
+
+    def tier_locations(self, block_id: str, tier: str) -> List[str]:
+        """Replica holders serving ``block_id`` from tier ``tier``, in
+        replica-placement order (tier-general :meth:`memory_locations`)."""
+        nodes = self._locations.get(block_id)
+        if nodes is None:
+            raise NameNodeError(f"unknown block {block_id!r}")
+        resident = self.tier_index.nodes(tier, block_id)
+        if not resident:
+            return []
+        return [node for node in nodes if node in resident]
 
     def file_blocks(self, path: str) -> Sequence[Block]:
         return self.get_file(path).blocks

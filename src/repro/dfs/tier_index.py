@@ -1,0 +1,101 @@
+"""Tier-aware block-location index: which tier(s) hold replica r of b.
+
+Generalizes :mod:`repro.dfs.memory_index` from "which nodes hold this
+block in memory" to "which nodes hold this block in tier T", one
+:class:`~repro.dfs.memory_index.MemoryLocalityIndex` per tier.  The
+per-tier sub-indexes keep their push-based O(1) ``nodes()`` fast path,
+and the NameNode exposes the ``mem`` sub-index as the same
+``locality_index`` object the scheduler already subscribes to — the
+PR 1 fast path is untouched.
+
+Invariant: a given replica (block, node) occupies at most one upper
+tier at a time.  The physical model backs this — a migration moves the
+replica's resident copy — so an update that lands a replica in a new
+tier first retracts it from the tier it previously occupied (firing
+that sub-index's listeners) before inserting into the new one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from .memory_index import MemoryLocalityIndex
+
+
+class TierLocalityIndex:
+    """Per-tier residency maps with the one-tier-per-replica invariant."""
+
+    __slots__ = ("_by_tier", "_tier_of")
+
+    def __init__(self):
+        self._by_tier: Dict[str, MemoryLocalityIndex] = {}
+        #: (block_id, node) -> tier currently holding that replica.
+        self._tier_of: Dict[Tuple[str, str], str] = {}
+
+    def tier(self, name: str) -> MemoryLocalityIndex:
+        """The sub-index for one tier (created on first use)."""
+        index = self._by_tier.get(name)
+        if index is None:
+            index = self._by_tier[name] = MemoryLocalityIndex()
+        return index
+
+    def tiers(self) -> Tuple[str, ...]:
+        return tuple(self._by_tier)
+
+    # -- push-based updates ---------------------------------------------------
+
+    def update(self, node: str, tier: str, block_id: str, resident: bool) -> None:
+        """Apply one residency delta from ``node``'s tier ``tier``.
+
+        Idempotent per sub-index; a residency gain while the replica sits
+        in a *different* tier retracts the stale entry first so the
+        one-tier-per-replica invariant holds at every step.
+        """
+        key = (block_id, node)
+        if resident:
+            current = self._tier_of.get(key)
+            if current is not None and current != tier:
+                self._by_tier[current].update(node, block_id, False)
+            self._tier_of[key] = tier
+            self.tier(tier).update(node, block_id, True)
+        else:
+            if self._tier_of.get(key) == tier:
+                del self._tier_of[key]
+            index = self._by_tier.get(tier)
+            if index is not None:
+                index.update(node, block_id, False)
+
+    def purge_node(self, node: str) -> None:
+        """Drop every entry for ``node`` across all tiers (node death)."""
+        for index in self._by_tier.values():
+            index.purge_node(node)
+        stale = [key for key in self._tier_of if key[1] == node]
+        for key in stale:
+            del self._tier_of[key]
+
+    # -- queries --------------------------------------------------------------
+
+    def nodes(self, tier: str, block_id: str) -> FrozenSet[str]:
+        """Nodes holding ``block_id`` in ``tier`` (O(1), shared frozenset)."""
+        index = self._by_tier.get(tier)
+        if index is None:
+            return frozenset()
+        return index.nodes(block_id)
+
+    def tier_of(self, block_id: str, node: str):
+        """The upper tier holding this replica, or ``None`` if it only
+        exists on the node's backing store."""
+        return self._tier_of.get((block_id, node))
+
+    def blocks(self, tier: str) -> Dict[str, FrozenSet[str]]:
+        """Snapshot of one tier's ``block -> nodes`` map (for tests)."""
+        index = self._by_tier.get(tier)
+        if index is None:
+            return {}
+        return index.blocks()
+
+    def __repr__(self) -> str:
+        counts = {
+            tier: len(index.blocks()) for tier, index in self._by_tier.items()
+        }
+        return f"<TierLocalityIndex {counts}>"

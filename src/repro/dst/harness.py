@@ -72,6 +72,7 @@ def build_cluster(scenario: Scenario) -> Tuple[Cluster, DifferentialChecker]:
             block_size=scenario.block_size,
             replication=scenario.replication,
             seed=scenario.seed,
+            tier_preset=scenario.tier_preset,
             engine=EngineConfig(output_replication=1),
             observability=ObservabilityConfig(
                 enabled=True, categories=("ignem",)
@@ -84,6 +85,7 @@ def build_cluster(scenario: Scenario) -> Tuple[Cluster, DifferentialChecker]:
             policy=scenario.policy,
             do_not_harm=scenario.do_not_harm,
             migration_concurrency=1,
+            migration_tier=scenario.migration_tier,
         ),
         ha=scenario.ha,
     )

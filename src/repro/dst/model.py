@@ -69,6 +69,9 @@ class DeliveredItem:
     nbytes: float
     priority: Tuple
     seq: int
+    #: Destination tier: each (node, tier) pair has its own ordered
+    #: queue and worker set, so the replay partitions on both.
+    tier: str = "mem"
 
 
 @dataclass(frozen=True)
@@ -139,6 +142,7 @@ class DifferentialChecker:
                             item.order_hint,
                         ),
                         seq=item.seq,
+                        tier=item.dst_tier,
                     )
                 )
         else:
@@ -171,11 +175,11 @@ class DifferentialChecker:
         which the live slave dropped its whole queue (crash, or a master
         restart/failover purge).
         """
-        nodes = set(lanes.values())
-        pops: Dict[str, List[PopEvent]] = {node: [] for node in nodes}
-        evictions: Dict[str, List[Tuple[float, str]]] = {
-            node: [] for node in nodes
-        }
+        # Each (node, destination-tier) pair runs its own queue + worker
+        # set, so the replay partitions on both; trace events without a
+        # tier arg (pre-tier traces) land in the default "mem" partition.
+        pops: Dict[Tuple[str, str], List[PopEvent]] = {}
+        evictions: Dict[Tuple[str, str], List[Tuple[float, str]]] = {}
 
         for event in trace_events:
             name = event.get("name")
@@ -184,9 +188,10 @@ class DifferentialChecker:
                 continue
             if name == "ignem.migration":
                 args = event["args"]
+                key = (node, args.get("tier", "mem"))
                 ts = event["ts"] / 1e6
                 if event.get("ph") == "X":
-                    pops.setdefault(node, []).append(
+                    pops.setdefault(key, []).append(
                         PopEvent(
                             node=node,
                             job_id=args["job"],
@@ -198,7 +203,7 @@ class DifferentialChecker:
                         )
                     )
                 else:
-                    pops.setdefault(node, []).append(
+                    pops.setdefault(key, []).append(
                         PopEvent(
                             node=node,
                             job_id=args["job"],
@@ -209,25 +214,34 @@ class DifferentialChecker:
                         )
                     )
             elif name == "ignem.eviction" and event.get("ph") == "i":
-                evictions.setdefault(node, []).append(
+                key = (node, event["args"].get("tier", "mem"))
+                evictions.setdefault(key, []).append(
                     (event["ts"] / 1e6, event["args"]["block"])
                 )
 
-        deliveries: Dict[str, List[DeliveredItem]] = {}
+        deliveries: Dict[Tuple[str, str], List[DeliveredItem]] = {}
         for item in self.delivered:
-            deliveries.setdefault(item.node, []).append(item)
+            deliveries.setdefault((item.node, item.tier), []).append(item)
+        # Purges are whole-node events (crash, master restart): they
+        # drop every tier queue of the node at once.
         purge_map: Dict[str, List[float]] = {}
         for when, node in purges:
             purge_map.setdefault(node, []).append(when)
 
-        for node in sorted(
-            set(deliveries) | set(purge_map) | {n for n in pops if pops[n]}
-        ):
+        keys = set(deliveries) | {k for k in pops if pops[k]}
+        keys |= {
+            (node, tier)
+            for node in purge_map
+            for (n, tier) in set(deliveries) | set(pops)
+            if n == node
+        }
+        for node, tier in sorted(keys):
+            label = node if tier == "mem" else f"{node}[{tier}]"
             self._replay_node(
-                node,
-                deliveries.get(node, []),
-                pops.get(node, []),
-                evictions.get(node, []),
+                label,
+                deliveries.get((node, tier), []),
+                pops.get((node, tier), []),
+                evictions.get((node, tier), []),
                 purge_map.get(node, []),
             )
         return self.violations

@@ -96,22 +96,36 @@ def oracle_do_not_harm(ctx: OracleContext) -> List[str]:
 
 
 def oracle_buffer_cap(ctx: OracleContext) -> List[str]:
-    """III-B2: per-slave migrated bytes never exceed the declared cap.
+    """III-B2: per-slave, per-tier migrated bytes never exceed the
+    declared cap.
 
-    Uses each slave's exact ``usage_timeline`` against the *scenario's*
-    capacity, so a build that silently raises the real cap is caught.
+    Uses each slave's exact per-tier usage timelines against the
+    *scenario's* capacity, so a build that silently raises the real cap
+    is caught.  The scenario declares exactly one destination tier
+    (``migration_tier``); migrated bytes accumulating in any other tier
+    are a violation outright.
     """
     cap = ctx.scenario.buffer_capacity
+    declared = ctx.scenario.migration_tier
     violations = []
     for name in sorted(ctx.cluster.ignem_slaves):
         slave = ctx.cluster.ignem_slaves[name]
-        peak_time, peak = max(slave.usage_timeline, key=lambda tb: tb[1])
-        if peak > cap + _BYTE_TOLERANCE:
-            violations.append(
-                f"{name}: migrated bytes peaked at {peak:.0f} "
-                f"(t={peak_time:.3f}) above the scenario's buffer cap "
-                f"{cap:.0f}"
-            )
+        for tier in sorted(slave.tier_usage_timeline):
+            timeline = slave.tier_usage_timeline[tier]
+            peak_time, peak = max(timeline, key=lambda tb: tb[1])
+            if tier != declared:
+                if peak > _BYTE_TOLERANCE:
+                    violations.append(
+                        f"{name}: {peak:.0f} migrated bytes "
+                        f"(t={peak_time:.3f}) in tier {tier!r}, which the "
+                        f"scenario never declared as a destination"
+                    )
+            elif peak > cap + _BYTE_TOLERANCE:
+                violations.append(
+                    f"{name}: tier {tier!r} migrated bytes peaked at "
+                    f"{peak:.0f} (t={peak_time:.3f}) above the scenario's "
+                    f"buffer cap {cap:.0f}"
+                )
     return violations
 
 

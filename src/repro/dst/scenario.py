@@ -105,6 +105,13 @@ class Scenario:
     #: Expectation the oracles check against (the spec is ground truth;
     #: the system under test may be sabotaged to disagree).
     do_not_harm: bool = True
+    #: Storage-hierarchy preset (``repro.storage.TIER_PRESETS`` name);
+    #: ``None`` keeps the classic 2-tier hdd+mem stack.  Serialized only
+    #: when set, so pre-tier corpus files stay byte-canonical.
+    tier_preset: Optional[str] = None
+    #: Destination tier migrations land in (and the tier the declared
+    #: ``buffer_capacity`` caps).  Serialized only when not ``"mem"``.
+    migration_tier: str = "mem"
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -113,6 +120,8 @@ class Scenario:
             raise ValueError("replication must be in [1, num_nodes]")
         if not self.jobs:
             raise ValueError("a scenario needs at least one job")
+        if not self.migration_tier:
+            raise ValueError("migration_tier must be non-empty")
         object.__setattr__(
             self,
             "faults",
@@ -149,16 +158,21 @@ class Scenario:
         for job in self.jobs:
             kinds[job.kind] = kinds.get(job.kind, 0) + 1
         mix = "+".join(f"{n}{k}" for k, n in sorted(kinds.items()))
-        return (
+        text = (
             f"seed={self.seed} nodes={self.num_nodes} rep={self.replication} "
             f"buf={self.buffer_capacity / MB:.0f}MB policy={self.policy} "
             f"ha={self.ha} jobs=[{mix}] faults={len(self.faults)}"
         )
+        if self.tier_preset is not None:
+            text += f" tiers={self.tier_preset}"
+        if self.migration_tier != "mem":
+            text += f" dst={self.migration_tier}"
+        return text
 
     # -- serialization -------------------------------------------------------------
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "format_version": FORMAT_VERSION,
             "seed": self.seed,
             "num_nodes": self.num_nodes,
@@ -181,6 +195,14 @@ class Scenario:
                 for event in self.faults
             ],
         }
+        # Tier fields serialize only when non-default: the 2-tier
+        # corpus written before the tier axis existed must re-serialize
+        # byte-identically (the corpus canonical-form test).
+        if self.tier_preset is not None:
+            data["tier_preset"] = self.tier_preset
+        if self.migration_tier != "mem":
+            data["migration_tier"] = self.migration_tier
+        return data
 
     def to_json(self) -> str:
         """Canonical JSON: sorted keys, exact float reprs, one trailing
@@ -206,6 +228,8 @@ class Scenario:
             ha=data["ha"],
             implicit_eviction=data["implicit_eviction"],
             do_not_harm=data.get("do_not_harm", True),
+            tier_preset=data.get("tier_preset"),
+            migration_tier=data.get("migration_tier", "mem"),
             jobs=tuple(ScenarioJob.from_dict(job) for job in data["jobs"]),
             faults=tuple(
                 FaultEvent(

@@ -273,6 +273,24 @@ def _run_fig9(out_dir: pathlib.Path, seed: int) -> str:
     return study.format()
 
 
+def _run_tier3(out_dir: pathlib.Path, seed: int) -> str:
+    from .tier3_demo import run_tier3_demo
+
+    study = run_tier3_demo(seed=seed)
+    payload = {
+        run.mode: {
+            "mean_job_seconds": run.mean_job_seconds,
+            "migrations_completed": run.migrations_completed,
+            "tier_peak_bytes": run.tier_peaks,
+            "routed_requests": run.routed,
+        }
+        for run in study.runs
+    }
+    payload["pull_metrics"] = study.pull_metrics
+    _write(out_dir, "tier3", study.format(), payload)
+    return study.format()
+
+
 EXPERIMENTS: Dict[str, Callable[[pathlib.Path, int], str]] = {
     "fig1": _run_fig1_fig2,
     "fig2": _run_fig1_fig2,
@@ -287,6 +305,7 @@ EXPERIMENTS: Dict[str, Callable[[pathlib.Path, int], str]] = {
     "table3": _run_table3,
     "fig8": _run_fig8,
     "fig9": _run_fig9,
+    "tier3": _run_tier3,
 }
 
 

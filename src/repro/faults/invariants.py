@@ -95,13 +95,17 @@ class InvariantChecker:
     def check_do_not_harm(self) -> List[str]:
         violations: List[str] = []
         for name, slave in sorted(self.cluster.ignem_slaves.items()):
-            capacity = slave.config.buffer_capacity
-            peak = max(usage for _, usage in slave.usage_timeline)
-            if peak > capacity + _BYTE_TOLERANCE:
-                violations.append(
-                    f"do-not-harm: {name} peaked at {peak:.0f} bytes, over "
-                    f"its {capacity:.0f}-byte buffer capacity"
+            for tier in sorted(slave.tier_usage_timeline):
+                capacity = slave.config.buffer_capacity_for(tier)
+                peak = max(
+                    usage for _, usage in slave.tier_usage_timeline[tier]
                 )
+                if peak > capacity + _BYTE_TOLERANCE:
+                    violations.append(
+                        f"do-not-harm: {name} tier {tier!r} peaked at "
+                        f"{peak:.0f} bytes, over its {capacity:.0f}-byte "
+                        f"buffer capacity"
+                    )
         if any(
             slave.config.do_not_harm
             for slave in self.cluster.ignem_slaves.values()
@@ -168,24 +172,38 @@ class InvariantChecker:
         return violations
 
     def check_memory_index(self) -> List[str]:
-        """Push-maintained index == brute-force recomputation."""
+        """Push-maintained tier index == brute-force recomputation.
+
+        Checked per upper tier: a block cached in a middle (e.g. SSD)
+        tier must appear in that tier's index and *not* in the memory
+        index.
+        """
         namenode = self.cluster.namenode
-        expected: Dict[str, Set[str]] = {}
+        expected: Dict[str, Dict[str, Set[str]]] = {}
+        tier_names: Set[str] = set()
         for name, datanode in self.cluster.datanodes.items():
-            for key in datanode.cache.resident_keys():
-                if namenode.is_block(key):
-                    expected.setdefault(key, set()).add(name)
-        actual = {
-            block_id: set(nodes)
-            for block_id, nodes in namenode.locality_index.blocks().items()
-        }
+            for tier in datanode.tiers.upper:
+                tier_names.add(tier.spec.name)
+                per_tier = expected.setdefault(tier.spec.name, {})
+                for key in tier.cache.resident_keys():
+                    if namenode.is_block(key):
+                        per_tier.setdefault(key, set()).add(name)
         violations: List[str] = []
-        for block_id in sorted(set(expected) | set(actual)):
-            want = expected.get(block_id, set())
-            have = actual.get(block_id, set())
-            if want != have:
-                violations.append(
-                    f"memory index: {block_id} indexed on {sorted(have)} "
-                    f"but actually resident on {sorted(want)}"
-                )
+        for tier_name in sorted(tier_names):
+            actual = {
+                block_id: set(nodes)
+                for block_id, nodes in namenode.tier_index.tier(
+                    tier_name
+                ).blocks().items()
+            }
+            want_map = expected.get(tier_name, {})
+            for block_id in sorted(set(want_map) | set(actual)):
+                want = want_map.get(block_id, set())
+                have = actual.get(block_id, set())
+                if want != have:
+                    violations.append(
+                        f"memory index: {block_id} indexed on "
+                        f"{sorted(have)} in tier {tier_name!r} but "
+                        f"actually resident on {sorted(want)}"
+                    )
         return violations

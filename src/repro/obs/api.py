@@ -160,9 +160,24 @@ class Observability:
         if tracer.enabled("storage"):
             for name in sorted(cluster.datanodes):
                 datanode = cluster.datanodes[name]
-                self._attach_device(datanode.disk, "disk", name)
-                self._attach_device(datanode.ram, "ram", name)
-                self._attach_cache(datanode.cache, name)
+                # Device lanes keep their historical labels on the
+                # default hierarchy: the bottom tier is "disk", the top
+                # "ram"; middle tiers (3-tier presets) are labelled by
+                # their tier name.
+                tiers = datanode.tiers
+                for tier in tiers:
+                    if tier is tiers.bottom:
+                        label = "disk"
+                    elif tier is tiers.top:
+                        label = "ram"
+                    else:
+                        label = tier.spec.name
+                    self._attach_device(tier.device, label, name)
+                for tier in tiers.upper:
+                    suffix = (
+                        "" if tier is tiers.top else f"-{tier.spec.name}"
+                    )
+                    self._attach_cache(tier.cache, name, suffix)
             for node in sorted(cluster.network._nics):
                 self._attach_device(
                     cluster.network._nics[node].device, "nic", node
@@ -272,9 +287,9 @@ class Observability:
 
         device.on_complete = on_complete
 
-    def _attach_cache(self, cache, node: str) -> None:
+    def _attach_cache(self, cache, node: str, suffix: str = "") -> None:
         tracer = self.tracer
-        lane = f"{node}/cache"
+        lane = f"{node}/cache{suffix}"
 
         def on_event(op, key, nbytes):
             tracer.instant(
@@ -464,6 +479,7 @@ class Observability:
             "block": item.block_id,
             "job": item.job_id,
             "bytes": round(item.block.nbytes),
+            "tier": item.dst_tier,
             "outcome": outcome,
             "queue_wait": round(queue_wait, 6),
         }
@@ -473,9 +489,9 @@ class Observability:
             tracer.instant("ignem.migration", "ignem", lane=node, args=args)
 
     def on_eviction(
-        self, node: str, block_id: str, nbytes: float, reason: str
+        self, node: str, block_id: str, nbytes: float, reason: str, tier: str
     ) -> None:
-        """IgnemSlave eviction hook, tagged with its cause."""
+        """IgnemSlave eviction hook, tagged with its cause and tier."""
         tracer = self.tracer
         if tracer is None or not tracer.enabled("ignem"):
             return
@@ -487,6 +503,7 @@ class Observability:
                 "block": block_id,
                 "bytes": round(nbytes),
                 "reason": reason,
+                "tier": tier,
             },
         )
 

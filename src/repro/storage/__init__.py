@@ -20,28 +20,54 @@ from .device import (
 from .presets import (
     DEFAULT_BLOCK_SIZE,
     HDD_BANDWIDTH,
+    HDD_TIER,
+    MEM_TIER,
     RAM_BANDWIDTH,
     SSD_BANDWIDTH,
+    SSD_TIER,
+    TIER_PRESETS,
     make_hdd,
     make_ram,
     make_ssd,
+    tier_preset,
+)
+from .tiers import (
+    HDD,
+    MEM,
+    SSD,
+    NodeTier,
+    NodeTierSet,
+    TierSpec,
+    build_tier_set,
 )
 
 __all__ = [
     "GB",
     "MB",
     "DEFAULT_BLOCK_SIZE",
+    "HDD",
     "HDD_BANDWIDTH",
+    "HDD_TIER",
+    "MEM",
+    "MEM_TIER",
     "RAM_BANDWIDTH",
+    "SSD",
     "SSD_BANDWIDTH",
+    "SSD_TIER",
+    "TIER_PRESETS",
     "BufferCache",
     "CacheEntry",
+    "NodeTier",
+    "NodeTierSet",
+    "TierSpec",
     "Transfer",
     "TransferDevice",
     "UtilizationProbe",
+    "build_tier_set",
     "make_hdd",
     "make_ram",
     "make_ssd",
     "no_penalty",
     "seek_thrash_penalty",
+    "tier_preset",
 ]

@@ -34,8 +34,11 @@ Ignem+10s result) profitable.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from ..sim.engine import Environment
-from .device import GB, MB, TransferDevice, no_penalty, seek_thrash_penalty
+from .device import GB, MB, TransferDevice
+from .tiers import HDD, MEM, SSD, TierSpec
 
 #: Default HDFS block size used throughout the paper's evaluation.
 DEFAULT_BLOCK_SIZE = 64 * MB
@@ -54,27 +57,66 @@ RAM_STREAM_RATE = 1.7 * GB
 RAM_BANDWIDTH = 64 * GB
 RAM_LATENCY = 0.0
 
+#: The calibrated tier specs.  These are the single copy of the device
+#: numbers; ``make_hdd``/``make_ssd``/``make_ram`` below and the cluster
+#: tier wiring all build devices through them.
+MEM_TIER = TierSpec(
+    name=MEM,
+    height=2,
+    bandwidth=RAM_BANDWIDTH,
+    latency=RAM_LATENCY,
+    thrash_alpha=None,
+    stream_rate_cap=RAM_STREAM_RATE,
+    device_prefix="ram",
+    read_source="ram",
+    default_capacity=128 * GB,
+)
+
+SSD_TIER = TierSpec(
+    name=SSD,
+    height=1,
+    bandwidth=SSD_BANDWIDTH,
+    latency=SSD_LATENCY,
+    thrash_alpha=SSD_THRASH_ALPHA,
+    default_capacity=256 * GB,
+)
+
+HDD_TIER = TierSpec(
+    name=HDD,
+    height=0,
+    bandwidth=HDD_BANDWIDTH,
+    latency=HDD_LATENCY,
+    thrash_alpha=HDD_THRASH_ALPHA,
+    default_capacity=1024 * GB,
+)
+
+#: Named per-node tier hierarchies selectable via ``ClusterConfig``.
+#: ``default`` is exactly the paper's testbed: memory over one HDD.
+TIER_PRESETS: Dict[str, Tuple[TierSpec, ...]] = {
+    "default": (MEM_TIER, HDD_TIER),
+    "mem-hdd": (MEM_TIER, HDD_TIER),
+    "mem-ssd": (MEM_TIER, SSD_TIER),
+    "mem-ssd-hdd": (MEM_TIER, SSD_TIER, HDD_TIER),
+}
+
+
+def tier_preset(name: str) -> Tuple[TierSpec, ...]:
+    """Look up a named tier preset; raises ``KeyError`` with the roster."""
+    try:
+        return TIER_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(TIER_PRESETS))
+        raise KeyError(f"unknown tier preset {name!r} (known: {known})") from None
+
 
 def make_hdd(env: Environment, name: str = "hdd") -> TransferDevice:
     """A 1TB-class spinning disk with heavy concurrent-read degradation."""
-    return TransferDevice(
-        env,
-        name,
-        bandwidth=HDD_BANDWIDTH,
-        latency=HDD_LATENCY,
-        penalty=seek_thrash_penalty(HDD_THRASH_ALPHA),
-    )
+    return HDD_TIER.make_device(env, name)
 
 
 def make_ssd(env: Environment, name: str = "ssd") -> TransferDevice:
     """A SATA-class SSD: fast, mildly sensitive to concurrency."""
-    return TransferDevice(
-        env,
-        name,
-        bandwidth=SSD_BANDWIDTH,
-        latency=SSD_LATENCY,
-        penalty=seek_thrash_penalty(SSD_THRASH_ALPHA),
-    )
+    return SSD_TIER.make_device(env, name)
 
 
 def make_ram(env: Environment, name: str = "ram") -> TransferDevice:
@@ -84,11 +126,4 @@ def make_ram(env: Environment, name: str = "ram") -> TransferDevice:
     concurrent block readers can use, so each read runs at the per-stream
     memcpy rate regardless of concurrency.
     """
-    return TransferDevice(
-        env,
-        name,
-        bandwidth=RAM_BANDWIDTH,
-        latency=RAM_LATENCY,
-        penalty=no_penalty,
-        default_rate_cap=RAM_STREAM_RATE,
-    )
+    return MEM_TIER.make_device(env, name)

@@ -38,8 +38,8 @@ class TestRetry:
         master.request_migration(["/f"], "j1")
         cluster.run()
 
-        assert master.command_retries == 1
-        assert master.commands_abandoned == 0
+        assert master.metrics.value("ignem.master.command_retries") == 1
+        assert master.metrics.value("ignem.master.commands_abandoned") == 0
         block = cluster.namenode.file_blocks("/f")[0]
         assert any(
             s.block_migrated(block.block_id) for s in master.slaves()
@@ -74,7 +74,7 @@ class TestRetry:
         # before the third attempt's latency delivers.
         assert delivered
         assert delivered[0] == pytest.approx(3 * 0.002 + 0.75 + 1.0)
-        assert master.command_retries == 2
+        assert master.metrics.value("ignem.master.command_retries") == 2
 
 
 class TestReroute:
@@ -94,7 +94,7 @@ class TestReroute:
             cluster.ignem_slaves[victim].alive = False
             master.request_migration(["/f"], "j1")
             cluster.run()
-            rerouted += master.commands_rerouted
+            rerouted += master.metrics.value("ignem.master.commands_rerouted")
             migrated_on = [
                 name
                 for name, slave in cluster.ignem_slaves.items()
@@ -102,7 +102,7 @@ class TestReroute:
             ]
             assert migrated_on
             assert victim not in migrated_on
-            assert master.commands_abandoned == 0
+            assert master.metrics.value("ignem.master.commands_abandoned") == 0
         assert rerouted >= 1
 
 
@@ -118,7 +118,7 @@ class TestAbandonment:
         master.request_migration(["/f"], "j1")
         cluster.run()
 
-        assert master.commands_abandoned >= 1
+        assert master.metrics.value("ignem.master.commands_abandoned") >= 1
         assert all(
             not slave.block_migrated(block.block_id)
             for slave in master.slaves()
@@ -139,5 +139,5 @@ class TestAbandonment:
 
         # Evictions are idempotent cleanup: after retries they are
         # dropped (the liveness sweep is the backstop), never rerouted.
-        assert master.commands_abandoned >= 1
-        assert master.commands_rerouted == 0
+        assert master.metrics.value("ignem.master.commands_abandoned") >= 1
+        assert master.metrics.value("ignem.master.commands_rerouted") == 0

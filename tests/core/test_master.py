@@ -42,7 +42,7 @@ class TestMigrationFanout:
         cluster.client.create_file("/f", 64 * MB)
         master.request_migration(["/f"], "j1")
         master.request_migration(["/f"], "j2")
-        assert master.migration_requests == 2
+        assert master.metrics.value("ignem.master.migration_requests") == 2
 
     def test_rpc_latency_delays_delivery(self):
         c = make_cluster(ignem_config=IgnemConfig(rpc_latency=0.5))
@@ -81,7 +81,7 @@ class TestEviction:
     def test_eviction_request_counts(self, cluster, master):
         cluster.client.create_file("/f", 64 * MB)
         master.request_eviction(["/f"], "j1")
-        assert master.eviction_requests == 1
+        assert master.metrics.value("ignem.master.eviction_requests") == 1
 
 
 class TestMasterFailure:

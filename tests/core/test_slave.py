@@ -4,6 +4,7 @@ import pytest
 
 from repro import IgnemConfig, JobSpec
 from repro.storage import GB, MB
+from repro.storage.presets import HDD_LATENCY
 
 from .conftest import make_cluster
 
@@ -41,7 +42,9 @@ class TestMigrationBasics:
         start = cluster.env.now
         migrate_and_run(cluster, ["/f"], "j1")
         elapsed = cluster.env.now - start
-        assert elapsed == pytest.approx(640 * MB / rate + 10 * 0.008, rel=0.05)
+        assert elapsed == pytest.approx(
+            640 * MB / rate + 10 * HDD_LATENCY, rel=0.05
+        )
         # Disk never saw concurrent migration streams.
         slave = cluster.ignem_slaves["node0"]
         assert slave.migrated_bytes == 640 * MB

@@ -1,0 +1,191 @@
+"""Tests for the 3-tier (mem/ssd/hdd) DataNode migration path."""
+
+import pytest
+
+from repro.dfs import Block, DataNode, DataNodeError
+from repro.sim import Environment
+from repro.storage import (
+    GB,
+    HDD_TIER,
+    MB,
+    MEM_TIER,
+    SSD_TIER,
+    build_tier_set,
+    tier_preset,
+)
+
+
+def make_three_tier_node(env, name="n0"):
+    tiers = build_tier_set(
+        env,
+        tier_preset("mem-ssd-hdd"),
+        name,
+        capacities={"mem": 1 * GB, "ssd": 4 * GB, "hdd": 64 * GB},
+    )
+    return DataNode(env, name, tiers=tiers, disk_capacity=64 * GB)
+
+
+def block(nbytes=64 * MB, index=0):
+    return Block(f"/f#blk{index}", "/f", index, nbytes)
+
+
+class TestTierSetShape:
+    def test_preset_orders_top_down(self):
+        env = Environment()
+        tiers = build_tier_set(env, tier_preset("mem-ssd-hdd"), "n0")
+        assert [t.spec.name for t in tiers] == ["mem", "ssd", "hdd"]
+        assert tiers.top.spec is MEM_TIER
+        assert tiers.bottom.spec is HDD_TIER
+        assert [t.spec.name for t in tiers.upper] == ["mem", "ssd"]
+        assert tiers.get("ssd").spec is SSD_TIER
+
+    def test_device_names_follow_prefixes(self):
+        env = Environment()
+        tiers = build_tier_set(env, tier_preset("mem-ssd-hdd"), "n7")
+        assert tiers.top.device.name == "ram-n7"
+        assert tiers.get("ssd").device.name == "ssd-n7"
+        assert tiers.bottom.device.name == "hdd-n7"
+
+
+class TestThreeTierMigration:
+    def test_migrate_to_middle_tier_then_top_keeps_one_upper_copy(self):
+        env = Environment()
+        node = make_three_tier_node(env)
+        blk = block()
+        node.store_block(blk)
+        seen = {}
+
+        def proc(env):
+            assert node.block_tier(blk.block_id) == "hdd"
+            yield node.migrate_block_to_tier(blk, "ssd")
+            seen["after_ssd"] = node.block_tier(blk.block_id)
+            yield node.migrate_block_to_tier(blk, "mem")
+            seen["after_mem"] = node.block_tier(blk.block_id)
+            seen["still_in_ssd"] = node.tiers.get("ssd").cache.contains(
+                blk.block_id
+            )
+
+        env.process(proc(env))
+        env.run()
+        assert seen["after_ssd"] == "ssd"
+        assert seen["after_mem"] == "mem"
+        # Promotion retracts the copy from the tier it left: at most one
+        # upper-tier copy per node.
+        assert seen["still_in_ssd"] is False
+
+    def test_read_served_from_highest_resident_tier(self):
+        env = Environment()
+        node = make_three_tier_node(env)
+        blk = block()
+        node.store_block(blk)
+        sources = []
+
+        def proc(env):
+            handle = node.read_block(blk)
+            yield handle.done
+            sources.append(handle.source)
+            yield node.migrate_block_to_tier(blk, "ssd")
+            handle = node.read_block(blk)
+            yield handle.done
+            sources.append(handle.source)
+            yield node.migrate_block_to_tier(blk, "mem")
+            handle = node.read_block(blk)
+            yield handle.done
+            sources.append(handle.source)
+
+        env.process(proc(env))
+        env.run()
+        assert sources == ["hdd", "ssd", "ram"]
+
+    def test_migration_source_is_highest_tier_below_destination(self):
+        env = Environment()
+        node = make_three_tier_node(env)
+        blk = block()
+        node.store_block(blk)
+
+        def proc(env):
+            assert node.migration_source(blk.block_id, "mem") is node.disk
+            yield node.migrate_block_to_tier(blk, "ssd")
+            assert (
+                node.migration_source(blk.block_id, "mem")
+                is node.tiers.get("ssd").device
+            )
+            assert node.migration_source(blk.block_id, "ssd") is node.disk
+
+        env.process(proc(env))
+        env.run()
+
+    def test_evict_from_middle_tier(self):
+        env = Environment()
+        node = make_three_tier_node(env)
+        blk = block()
+        node.store_block(blk)
+
+        def proc(env):
+            yield node.migrate_block_to_tier(blk, "ssd")
+            assert node.evict_block_from_tier(blk.block_id, "ssd") is True
+            assert node.block_tier(blk.block_id) == "hdd"
+            assert node.evict_block_from_tier(blk.block_id, "ssd") is False
+
+        env.process(proc(env))
+        env.run()
+
+    def test_unknown_tier_raises(self):
+        env = Environment()
+        node = make_three_tier_node(env)
+        blk = block()
+        node.store_block(blk)
+        with pytest.raises(DataNodeError):
+            node.migrate_block_to_tier(blk, "tape")
+        with pytest.raises(DataNodeError):
+            node.evict_block_from_tier(blk.block_id, "hdd")
+
+
+class TestResidencyPublication:
+    def test_listener_sees_tier_tagged_deltas(self):
+        env = Environment()
+        node = make_three_tier_node(env)
+        blk = block()
+        node.store_block(blk)
+        deltas = []
+        node.attach_residency_listener(
+            lambda name, tier, key, resident: deltas.append(
+                (name, tier, key, resident)
+            )
+        )
+
+        def proc(env):
+            yield node.migrate_block_to_tier(blk, "ssd")
+            yield node.migrate_block_to_tier(blk, "mem")
+
+        env.process(proc(env))
+        env.run()
+        # Promotion inserts into the destination first, then retracts
+        # the copy from the tier it left.
+        assert deltas == [
+            ("n0", "ssd", blk.block_id, True),
+            ("n0", "mem", blk.block_id, True),
+            ("n0", "ssd", blk.block_id, False),
+        ]
+
+    def test_fail_drops_every_upper_tier(self):
+        env = Environment()
+        node = make_three_tier_node(env)
+        blk = block()
+        node.store_block(blk)
+        deltas = []
+        node.attach_residency_listener(
+            lambda name, tier, key, resident: deltas.append(
+                (tier, key, resident)
+            )
+        )
+
+        def proc(env):
+            yield node.migrate_block_to_tier(blk, "ssd")
+
+        env.process(proc(env))
+        env.run()
+        node.fail()
+        assert ("ssd", blk.block_id, False) in deltas
+        node.restart()
+        assert node.block_tier(blk.block_id) == "hdd"

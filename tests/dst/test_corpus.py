@@ -50,3 +50,25 @@ class TestRetryFailoverSeed:
         second = run_scenario(scenario)
         assert first.stats == second.stats
         assert first.violations == second.violations
+
+
+class TestThreeTierSeed:
+    """PR 5 tier axis: the mem-ssd-hdd preset with migrations routed to
+    the SSD tier, surviving a slave crash mid-run."""
+
+    def test_three_tier_preset_survives_slave_crash(self):
+        scenario = Scenario.load(CORPUS / "three-tier.json")
+        assert scenario.tier_preset == "mem-ssd-hdd"
+        assert scenario.migration_tier == "ssd"
+        result = run_scenario(scenario)
+        assert result.ok, result.format_violations()
+        assert result.stats["faults_applied"] == len(scenario.faults)
+        assert result.stats["migrations_completed"] >= 1
+        assert result.stats["jobs_completed"] == len(scenario.jobs)
+
+    def test_replay_is_deterministic(self):
+        scenario = Scenario.load(CORPUS / "three-tier.json")
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        assert first.stats == second.stats
+        assert first.violations == second.violations

@@ -231,6 +231,7 @@ class TestCommandBoundary:
             job_submitted_at = 0.0
             order_hint = 0
             seq = 0
+            dst_tier = "mem"
 
             class block:
                 nbytes = 64 * MB

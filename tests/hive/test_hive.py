@@ -121,7 +121,7 @@ class TestIgnemHook:
         session.create_tables(query.tables)
         done = session.run_query(query)
         cluster.run(until=done)
-        assert cluster.ignem_master.migration_requests == 1
+        assert cluster.ignem_master.metrics.value("ignem.master.migration_requests") == 1
         assert cluster.collector.completed_migrations()
 
     def test_hook_accelerates_query(self):

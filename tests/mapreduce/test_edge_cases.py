@@ -89,14 +89,14 @@ class TestConfigPlumb:
         job = cluster.engine.submit_job(JobSpec("j", ("/in",)))
         assert job.use_ignem
         cluster.run()
-        assert cluster.ignem_master.migration_requests == 1
+        assert cluster.ignem_master.metrics.value("ignem.master.migration_requests") == 1
 
     def test_use_ignem_false_suppresses_migration(self):
         cluster = cluster4(ignem=True)
         cluster.client.create_file("/in", 64 * MB)
         cluster.engine.submit_job(JobSpec("j", ("/in",)), use_ignem=False)
         cluster.run()
-        assert cluster.ignem_master.migration_requests == 0
+        assert cluster.ignem_master.metrics.value("ignem.master.migration_requests") == 0
 
 
 class TestMetricsConsistency:

@@ -128,8 +128,11 @@ class TestCounterCorrectness:
         assert cluster.metrics.value("ignem.master.commands_sent") >= 1
 
 
-class TestDeprecatedViews:
-    def test_master_attrs_warn_and_agree_with_registry(self):
+class TestRegistryCounters:
+    """The registry is the single home for master RPC/workload tallies
+    (the PR 3 deprecated attribute views are gone)."""
+
+    def test_master_attrs_are_gone_and_registry_counts(self):
         cluster = _small_ignem_cluster()
         master = cluster.ignem_master
         master.rpc_fault = _DropFirst(2)
@@ -139,20 +142,21 @@ class TestDeprecatedViews:
         cluster.run()
 
         registry = cluster.metrics
-        for attr, metric in (
-            ("commands_sent", "ignem.master.commands_sent"),
-            ("command_retries", "ignem.master.command_retries"),
-            ("commands_rerouted", "ignem.master.commands_rerouted"),
-            ("commands_abandoned", "ignem.master.commands_abandoned"),
-            ("migration_requests", "ignem.master.migration_requests"),
-            ("eviction_requests", "ignem.master.eviction_requests"),
+        for attr in (
+            "commands_sent",
+            "command_retries",
+            "commands_rerouted",
+            "commands_abandoned",
+            "migration_requests",
+            "eviction_requests",
         ):
-            with pytest.warns(DeprecationWarning):
-                old_value = getattr(master, attr)
-            assert old_value == registry.value(metric), attr
+            with pytest.raises(AttributeError):
+                getattr(master, attr)
+        assert registry.value("ignem.master.migration_requests") == 1
         assert registry.value("ignem.master.command_retries") == 2
+        assert registry.value("ignem.master.commands_sent") >= 1
 
-    def test_ha_pair_attrs_warn_and_agree_with_shared_registry(self):
+    def test_ha_pair_attrs_are_gone_and_share_one_registry(self):
         cluster = _small_ignem_cluster(ha=True)
         pair = cluster.ignem_master
         cluster.rm.register_job("j1")
@@ -167,14 +171,15 @@ class TestDeprecatedViews:
 
         registry = cluster.metrics
         assert registry is pair.metrics
-        for attr, metric in (
-            ("commands_sent", "ignem.master.commands_sent"),
-            ("command_retries", "ignem.master.command_retries"),
-            ("commands_rerouted", "ignem.master.commands_rerouted"),
-            ("commands_abandoned", "ignem.master.commands_abandoned"),
+        for attr in (
+            "commands_sent",
+            "command_retries",
+            "commands_rerouted",
+            "commands_abandoned",
         ):
-            with pytest.warns(DeprecationWarning):
-                old_value = getattr(pair, attr)
-            assert old_value == registry.value(metric), attr
-        with pytest.warns(DeprecationWarning):
-            assert pair.commands_sent > 0
+            with pytest.raises(AttributeError):
+                getattr(pair, attr)
+        # Both masters of the pair report into the one shared registry,
+        # so the counters carry across the failover.
+        assert registry.value("ignem.master.migration_requests") == 2
+        assert registry.value("ignem.master.commands_sent") > 0

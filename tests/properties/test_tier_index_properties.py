@@ -1,0 +1,106 @@
+"""Property suite for the tier-aware block-location index.
+
+Three guarantees the PR 5 tier refactor must hold:
+
+1. a replica is indexed in at most ONE tier of a node at any time (a
+   block moving up retracts from the tier it left);
+2. inserting a fresh replica and then evicting it restores the exact
+   prior occupancy — across every tier, not just the touched one;
+3. with a single upper tier the tier index is observationally
+   equivalent to the plain :class:`MemoryLocalityIndex` it generalizes,
+   including the listener delta stream the PR 1 scheduler fast path
+   consumes.
+"""
+
+from hypothesis import given, settings
+
+from repro.dfs.memory_index import MemoryLocalityIndex
+from repro.dfs.tier_index import TierLocalityIndex
+
+from tests.strategies import tier_deltas
+
+
+def _apply(index: TierLocalityIndex, step) -> None:
+    if step[0] == "purge":
+        index.purge_node(step[1])
+    else:
+        _, node, tier, block, resident = step
+        index.update(node, tier, block, resident)
+
+
+def _occupancy(index: TierLocalityIndex, tiers) -> dict:
+    """Full observable state: tier -> {block -> frozenset(nodes)}."""
+    return {tier: index.tier(tier).blocks() for tier in tiers}
+
+
+class TestOneTierPerReplica:
+    @given(tier_deltas())
+    @settings(max_examples=200, deadline=None)
+    def test_replica_never_indexed_in_two_tiers_of_one_node(self, script):
+        tiers, steps = script
+        index = TierLocalityIndex()
+        for step in steps:
+            _apply(index, step)
+            for block in {s[3] for s in steps if s[0] == "update"}:
+                for node in {s[1] for s in steps}:
+                    holding = [
+                        tier
+                        for tier in tiers
+                        if node in index.nodes(tier, block)
+                    ]
+                    assert len(holding) <= 1, (block, node, holding)
+                    if holding:
+                        assert index.tier_of(block, node) == holding[0]
+                    else:
+                        assert index.tier_of(block, node) is None
+
+
+class TestEvictionRestoresOccupancy:
+    @given(tier_deltas(num_blocks=4))
+    @settings(max_examples=200, deadline=None)
+    def test_insert_then_evict_fresh_replica_is_identity(self, script):
+        tiers, steps = script
+        index = TierLocalityIndex()
+        for step in steps:
+            _apply(index, step)
+        before = _occupancy(index, tiers)
+
+        # A replica no step ever touched is fresh by construction.
+        node, block = "nodeX", "blk-fresh"
+        for tier in tiers:
+            index.update(node, tier, block, True)
+            assert node in index.nodes(tier, block)
+            index.update(node, tier, block, False)
+            assert _occupancy(index, tiers) == before, tier
+
+
+class TestTwoTierEquivalence:
+    @given(tier_deltas(tiers=("mem",)))
+    @settings(max_examples=200, deadline=None)
+    def test_single_tier_index_matches_memory_index(self, script):
+        _, steps = script
+        tier_index = TierLocalityIndex()
+        plain = MemoryLocalityIndex()
+        tier_stream, plain_stream = [], []
+        tier_index.tier("mem").add_listener(
+            lambda block, node, resident: tier_stream.append(
+                (block, node, resident)
+            )
+        )
+        plain.add_listener(
+            lambda block, node, resident: plain_stream.append(
+                (block, node, resident)
+            )
+        )
+
+        for step in steps:
+            if step[0] == "purge":
+                tier_index.purge_node(step[1])
+                plain.purge_node(step[1])
+            else:
+                _, node, tier, block, resident = step
+                tier_index.update(node, tier, block, resident)
+                plain.update(node, block, resident)
+            assert tier_index.tier("mem").blocks() == plain.blocks()
+            assert tier_stream == plain_stream
+        assert len(tier_index.tier("mem")) == len(plain)

@@ -58,6 +58,39 @@ def transfer_plans(draw):
     return plan
 
 
+#: Tier rosters the tier-index property suite samples from.
+TIER_ROSTERS = (("mem",), ("mem", "ssd"), ("mem", "ssd", "flash"))
+
+
+@st.composite
+def tier_deltas(draw, tiers=None, num_nodes=3, num_blocks=6, max_steps=40):
+    """A random residency-delta script for the tier locality index.
+
+    Returns ``(tiers, steps)`` where each step is either
+    ``("update", node, tier, block, resident)`` or ``("purge", node)``.
+    """
+    roster = tuple(tiers) if tiers is not None else draw(
+        st.sampled_from(TIER_ROSTERS)
+    )
+    steps = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_steps))):
+        if draw(st.integers(0, 9)) == 0:
+            steps.append(
+                ("purge", f"node{draw(st.integers(0, num_nodes - 1))}")
+            )
+            continue
+        steps.append(
+            (
+                "update",
+                f"node{draw(st.integers(0, num_nodes - 1))}",
+                draw(st.sampled_from(roster)),
+                f"blk{draw(st.integers(0, num_blocks - 1))}",
+                draw(st.booleans()),
+            )
+        )
+    return roster, steps
+
+
 @st.composite
 def scheduler_workloads(draw):
     """Random (nodes, slots, tasks) scheduling scenarios."""
