@@ -1,0 +1,180 @@
+"""Wall-clock benchmark for the trace-scale replay.
+
+Measures ``run_scale_replay`` end to end (cluster build, dataset
+materialization, and the full replay) at the headline 10k-node /
+100k-job shape and writes the result to
+``benchmarks/perf/BENCH_scale.json``.
+
+Methodology matches ``bench_swim.py``: every measurement runs in a
+fresh subprocess, the best of N back-to-back repetitions within a
+subprocess is kept (minimum is the least-noise estimator for a
+deterministic CPU-bound workload), and a baseline git ref — when one
+that contains the harness exists — is interleaved round-by-round.  The
+defaults differ only in scale: one repetition per round and three
+rounds, because a single replay runs for about a minute.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_scale.py
+    PYTHONPATH=src python benchmarks/perf/bench_scale.py \
+        --nodes 1000 --jobs 10000 --rounds 5 --reps 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent / "BENCH_scale.json"
+
+_SNIPPET = r"""
+import sys
+sys.path.insert(0, {src!r})
+from repro.workloads.scale import ScaleConfig, run_scale_replay
+config = ScaleConfig(num_nodes={nodes}, num_jobs={jobs}, seed={seed})
+best = float("inf")
+events = 0
+for _ in range({reps}):
+    result = run_scale_replay(config)
+    best = min(best, result.wall_seconds)
+    events = result.events
+print(best, events)
+"""
+
+
+def measure_once(
+    tree: pathlib.Path, nodes: int, jobs: int, seed: int, reps: int
+):
+    """Best-of-``reps`` wall seconds (and event count) in one subprocess."""
+    code = _SNIPPET.format(
+        src=str(tree / "src"), nodes=nodes, jobs=jobs, seed=seed, reps=reps
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    )
+    seconds, events = out.stdout.split()
+    return float(seconds), int(events)
+
+
+def checkout_baseline(ref: str) -> pathlib.Path:
+    tree = pathlib.Path(tempfile.mkdtemp(prefix="bench-baseline-"))
+    subprocess.run(
+        ["git", "worktree", "add", "--detach", "--force", str(tree), ref],
+        cwd=REPO_ROOT,
+        check=True,
+        capture_output=True,
+    )
+    return tree
+
+
+def remove_baseline(tree: pathlib.Path) -> None:
+    subprocess.run(
+        ["git", "worktree", "remove", "--force", str(tree)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+    )
+    shutil.rmtree(tree, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=10_000)
+    parser.add_argument("--jobs", type=int, default=100_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--reps", type=int, default=1)
+    parser.add_argument(
+        "--baseline-ref",
+        default=None,
+        help=(
+            "git ref to measure against, interleaved round-by-round "
+            "(the ref must already contain repro.workloads.scale)"
+        ),
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.rounds < 1 or args.reps < 1:
+        parser.error("--rounds and --reps must be >= 1")
+
+    baseline_tree = None
+    if args.baseline_ref:
+        try:
+            baseline_tree = checkout_baseline(args.baseline_ref)
+        except subprocess.CalledProcessError as error:
+            stderr = (error.stderr or b"").decode(errors="replace").strip()
+            parser.error(
+                f"cannot check out baseline ref {args.baseline_ref!r}: {stderr}"
+            )
+
+    current_rounds: list = []
+    baseline_rounds: list = []
+    events = 0
+    try:
+        for round_index in range(args.rounds):
+            if baseline_tree is not None:
+                seconds, _ = measure_once(
+                    baseline_tree, args.nodes, args.jobs, args.seed, args.reps
+                )
+                baseline_rounds.append(seconds)
+            seconds, events = measure_once(
+                REPO_ROOT, args.nodes, args.jobs, args.seed, args.reps
+            )
+            current_rounds.append(seconds)
+            line = f"round {round_index}: current {current_rounds[-1]:.1f}s"
+            if baseline_rounds:
+                line += f"  baseline {baseline_rounds[-1]:.1f}s"
+            print(line, flush=True)
+    finally:
+        if baseline_tree is not None:
+            remove_baseline(baseline_tree)
+
+    best = min(current_rounds)
+    result = {
+        "workload": (
+            f"run_scale_replay(ScaleConfig(num_nodes={args.nodes}, "
+            f"num_jobs={args.jobs}, seed={args.seed}))"
+        ),
+        "methodology": (
+            "fresh subprocess per round; best of "
+            f"{args.reps} back-to-back repetitions per round; "
+            f"{args.rounds} rounds"
+            + (", interleaved with the baseline tree" if args.baseline_ref else "")
+        ),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "measured_at": time.strftime("%Y-%m-%d"),
+        "current": {
+            "rounds_seconds": [round(s, 3) for s in current_rounds],
+            "best_seconds": round(best, 3),
+            "events": events,
+            "events_per_second": round(events / best, 1),
+        },
+    }
+    if baseline_rounds:
+        result["baseline"] = {
+            "ref": args.baseline_ref,
+            "rounds_seconds": [round(s, 3) for s in baseline_rounds],
+            "best_seconds": round(min(baseline_rounds), 3),
+        }
+        result["speedup"] = round(min(baseline_rounds) / best, 2)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    if "speedup" in result:
+        print(f"speedup vs {args.baseline_ref}: {result['speedup']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ Usage::
     python -m repro all --out results/
     python -m repro trace swim-ignem --out results/ --num-jobs 40
     python -m repro profile --mode ignem --num-jobs 200 --top 30
+    python -m repro profile --workload scale --nodes 1000 --jobs 10000
+    python -m repro scale --nodes 10000 --jobs 100000
     python -m repro chaos --seeds 10
     python -m repro dst --runs 25 --seed 0
     python -m repro dst --replay tests/dst/corpus
@@ -114,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     profile.add_argument(
+        "--workload",
+        default="swim",
+        choices=("swim", "scale"),
+        help="what to profile: the SWIM run or the trace-scale replay",
+    )
+    profile.add_argument(
         "--mode", default="ignem", choices=("hdfs", "ignem", "ram")
     )
     profile.add_argument("--num-jobs", type=int, default=200)
@@ -123,6 +131,55 @@ def build_parser() -> argparse.ArgumentParser:
         default="tottime",
         choices=("tottime", "cumtime", "ncalls"),
         help="stat to sort by",
+    )
+    profile.add_argument(
+        "--nodes",
+        type=int,
+        default=1000,
+        help="cluster size for --workload scale",
+    )
+    profile.add_argument(
+        "--jobs",
+        type=int,
+        default=10_000,
+        help="trace rows for --workload scale",
+    )
+
+    scale = sub.add_parser(
+        "scale",
+        parents=[common],
+        help="replay a Google-trace-shaped workload at cluster scale",
+        description=(
+            "Drive synthetic Google-trace rows through a full simulated "
+            "cluster: one input file, migrate call, read wave, and evict "
+            "call per job (see repro.workloads.scale).  Writes scale.json "
+            "and scale.txt under --out and prints the replay summary.  "
+            "The default shape (10k nodes, 100k jobs) is the kernel's "
+            "headline stress run; it finishes in minutes on one core."
+        ),
+    )
+    scale.add_argument(
+        "--nodes", type=int, default=10_000, help="cluster size"
+    )
+    scale.add_argument(
+        "--jobs", type=int, default=100_000, help="trace rows to replay"
+    )
+    scale.add_argument(
+        "--interarrival",
+        type=float,
+        default=0.5,
+        help="mean job interarrival (seconds)",
+    )
+    scale.add_argument(
+        "--max-blocks",
+        type=int,
+        default=64,
+        help="cap on blocks per job input file (bounds the lognormal tail)",
+    )
+    scale.add_argument(
+        "--no-ignem",
+        action="store_true",
+        help="replay the plain-HDFS baseline (no migrate/evict calls)",
     )
 
     chaos = sub.add_parser(
@@ -200,6 +257,22 @@ def run_profile(args) -> int:
     import cProfile
     import pstats
 
+    if args.workload == "scale":
+        from .workloads.scale import ScaleConfig, run_scale_replay
+
+        config = ScaleConfig(
+            num_nodes=args.nodes, num_jobs=args.jobs, seed=args.seed
+        )
+        # One warm run would double an already-long replay, so the scale
+        # profile goes in cold; import/setup cost is negligible next to
+        # millions of dispatched events.
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_scale_replay(config)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
+        return 0
+
     from .experiments.swim_runs import clear_cache, run_swim
 
     # Warm run first: imports and one-time allocations would otherwise
@@ -213,6 +286,38 @@ def run_profile(args) -> int:
     run_swim(args.mode, seed=args.seed, num_jobs=args.num_jobs)
     profiler.disable()
     pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+def run_scale(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .workloads.scale import (
+        ScaleConfig,
+        format_scale_result,
+        run_scale_replay,
+    )
+
+    config = ScaleConfig(
+        num_nodes=args.nodes,
+        num_jobs=args.jobs,
+        seed=args.seed,
+        mean_interarrival=args.interarrival,
+        max_blocks_per_job=args.max_blocks,
+        ignem=not args.no_ignem,
+    )
+    result = run_scale_replay(config)
+    report = format_scale_result(result)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "scale.json").write_text(
+        json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    (out_dir / "scale.txt").write_text(report + "\n")
+    print(report)
+    print(f"\nresults written to {args.out}/scale.json")
     return 0
 
 
@@ -292,6 +397,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "profile":
         return run_profile(args)
+    if args.command == "scale":
+        return run_scale(args)
     if args.command == "chaos":
         return run_chaos(args)
     if args.command == "trace":

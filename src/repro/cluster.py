@@ -54,6 +54,11 @@ class ClusterConfig:
     network_bandwidth: float = TEN_GBPS
     #: Delay-scheduling patience (0 disables; plain Hadoop FIFO).
     locality_wait: float = 0.0
+    #: O(replication) sampled block placement (see
+    #: ``NameNode.fast_placement``).  Off by default: it draws a
+    #: different RNG sequence than the exact scan, so only scale
+    #: harnesses opt in.
+    fast_placement: bool = False
     seed: int = 0
     engine: EngineConfig = field(default_factory=EngineConfig)
     #: Structured tracing + metrics (disabled by default; see
@@ -99,6 +104,7 @@ class Cluster:
             block_size=cfg.block_size,
             replication=cfg.replication,
         )
+        self.namenode.fast_placement = cfg.fast_placement
 
         # Local import to avoid a cycle (scheduler has no deps on cluster).
         from .scheduler.node_manager import NodeManager
@@ -215,6 +221,9 @@ class Cluster:
                 collector=self.collector,
                 registry=self.obs.registry,
             )
+        #: Cluster-wide per-tier occupancy, maintained incrementally by
+        #: every slave's accounting deltas (O(1) per event).
+        self.tier_totals: Dict[str, float] = {}
         for name, datanode in self.datanodes.items():
             slave = IgnemSlave(
                 self.env,
@@ -223,6 +232,7 @@ class Cluster:
                 ignem_config,
                 self.collector,
                 registry=self.obs.registry,
+                tier_accumulator=self.tier_totals,
             )
             master.attach_slave(slave)
             self.ignem_slaves[name] = slave
@@ -232,8 +242,16 @@ class Cluster:
         # snapshot (pull metrics: zero hot-path cost).
         registry = self.obs.registry
         slaves = self.ignem_slaves
+        totals = self.tier_totals
 
         def _tier_pull(tier_name):
+            if len(slaves) > 64:
+                # Trace-scale clusters read the incremental accumulator;
+                # summing per-slave floats here would be O(nodes) and can
+                # differ from the accumulator by float ulps, so the
+                # small-cluster path keeps the historical summation order
+                # (golden snapshots stay bit-identical).
+                return lambda: totals.get(tier_name, 0.0)
             return lambda: sum(
                 slave.tier_bytes.get(tier_name, 0.0)
                 for slave in slaves.values()

@@ -45,10 +45,15 @@ class IgnemSlave:
         config: Optional[IgnemConfig] = None,
         collector: Optional[MetricsCollector] = None,
         registry: Optional[MetricsRegistry] = None,
+        tier_accumulator: Optional[Dict[str, float]] = None,
     ):
         self.env = env
         self.datanode = datanode
         self.rm = rm
+        #: Optional shared per-tier occupancy totals, folded into on every
+        #: accounting delta so a cluster-wide snapshot never has to sum
+        #: over every slave (O(1) instead of O(nodes) at trace scale).
+        self._tier_accumulator = tier_accumulator
         self.config = config or IgnemConfig()
         self.collector = collector or MetricsCollector()
         self.metrics = registry or MetricsRegistry()
@@ -436,7 +441,8 @@ class IgnemSlave:
                     f"negative migrated_bytes on {self.name}: {self.migrated_bytes}"
                 )
             self.migrated_bytes = 0.0
-        per_tier = self.tier_bytes.get(tier, 0.0) + delta
+        old_per_tier = self.tier_bytes.get(tier, 0.0)
+        per_tier = old_per_tier + delta
         if per_tier < 0:
             if per_tier < -1.0:
                 raise AssertionError(
@@ -444,6 +450,11 @@ class IgnemSlave:
                 )
             per_tier = 0.0
         self.tier_bytes[tier] = per_tier
+        accumulator = self._tier_accumulator
+        if accumulator is not None:
+            accumulator[tier] = (
+                accumulator.get(tier, 0.0) + per_tier - old_per_tier
+            )
         self.usage_timeline.append((self.env.now, self.migrated_bytes))
         self.tier_usage_timeline.setdefault(tier, []).append(
             (self.env.now, per_tier)

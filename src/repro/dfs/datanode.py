@@ -114,6 +114,9 @@ class DataNode:
         self._residency_listener: Optional[
             Callable[[str, str, str, bool], None]
         ] = None
+        #: Liveness hook: called with no arguments whenever ``alive``
+        #: flips (the NameNode uses it to invalidate its live-node cache).
+        self.on_liveness_change: Optional[Callable[[], None]] = None
 
     # -- residency delta publication -----------------------------------------
 
@@ -343,6 +346,8 @@ class DataNode:
         NameNode's memory-locality index consistent.
         """
         self.alive = False
+        if self.on_liveness_change is not None:
+            self.on_liveness_change()
         # Devices fail bottom-up (disk first, as before), then every
         # upper-tier cache flushes top-down — the 2-tier order is exactly
         # the historical disk / ram / cache sequence.
@@ -356,6 +361,8 @@ class DataNode:
     def restart(self) -> None:
         """Restart the process on the same server; disk blocks survive."""
         self.alive = True
+        if self.on_liveness_change is not None:
+            self.on_liveness_change()
 
     def _ensure_alive(self) -> None:
         if not self.alive:

@@ -43,6 +43,14 @@ class NameNode:
         self._datanodes: Dict[str, DataNode] = {}
         self._namespace: Dict[str, FileMetadata] = {}
         self._locations: Dict[str, List[str]] = {}
+        #: Cached live-node list, invalidated by membership changes and
+        #: DataNode liveness flips (``on_liveness_change``).  A full scan
+        #: per query is O(nodes) and shows up hard at 10k nodes.
+        self._live_cache: Optional[List[DataNode]] = None
+        #: Opt-in O(replication) sampled placement for huge clusters.
+        #: Draws from a different RNG sequence than the default scan, so
+        #: it stays off unless a scale harness turns it on explicitly.
+        self.fast_placement = False
         #: Push-maintained per-tier ``block_id -> nodes`` maps, fed by
         #: DataNode residency deltas (see :mod:`repro.dfs.tier_index`).
         self.tier_index = TierLocalityIndex()
@@ -57,7 +65,12 @@ class NameNode:
         if datanode.name in self._datanodes:
             raise NameNodeError(f"duplicate DataNode name {datanode.name!r}")
         self._datanodes[datanode.name] = datanode
+        self._live_cache = None
+        datanode.on_liveness_change = self._invalidate_live_cache
         datanode.attach_residency_listener(self._on_residency_delta)
+
+    def _invalidate_live_cache(self) -> None:
+        self._live_cache = None
 
     def datanode(self, name: str) -> DataNode:
         if name not in self._datanodes:
@@ -68,14 +81,25 @@ class NameNode:
         return list(self._datanodes.values())
 
     def live_datanodes(self) -> List[DataNode]:
-        return [dn for dn in self._datanodes.values() if dn.alive]
+        """Live DataNodes, in registration order.
+
+        Served from a liveness-invalidated cache; callers must treat the
+        returned list as read-only.
+        """
+        live = self._live_cache
+        if live is None:
+            live = [dn for dn in self._datanodes.values() if dn.alive]
+            self._live_cache = live
+        return live
 
     def remove_datanode(self, name: str) -> None:
         """Drop a dead server from the namespace map (paper III-A5): its
         replica locations disappear from every block's location list."""
         datanode = self._datanodes.pop(name, None)
+        self._live_cache = None
         if datanode is not None:
             datanode.detach_residency_listener()
+            datanode.on_liveness_change = None
         for block_id, nodes in self._locations.items():
             if name in nodes:
                 nodes.remove(name)
@@ -120,10 +144,16 @@ class NameNode:
         metadata = FileMetadata(path, tuple(blocks), replication=replication)
         self._namespace[path] = metadata
 
+        sampled = self.fast_placement and preferred_node is None
         for block in blocks:
-            nodes = self._place_replicas(
-                live, replication, preferred_node, block.nbytes
-            )
+            if sampled:
+                nodes = self._place_replicas_sampled(
+                    live, replication, block.nbytes
+                )
+            else:
+                nodes = self._place_replicas(
+                    live, replication, preferred_node, block.nbytes
+                )
             if not nodes:
                 # Roll back the namespace entry: nothing fits anywhere.
                 del self._namespace[path]
@@ -241,3 +271,25 @@ class NameNode:
         if needed > 0:
             chosen.extend(self.rng.sample(remaining, min(needed, len(remaining))))
         return chosen
+
+    def _place_replicas_sampled(
+        self, live: List[DataNode], replication: int, nbytes: float
+    ) -> List[str]:
+        """O(replication) placement for huge clusters (``fast_placement``).
+
+        Samples replica sets straight from the live list and keeps the
+        first whose nodes all have capacity — on a mostly-empty cluster
+        the first draw virtually always sticks.  Falls back to the exact
+        capacity-filtered scan when sampling keeps hitting full nodes.
+        """
+        count = min(replication, len(live))
+        for _ in range(4):
+            picks = self.rng.sample(live, count)
+            fits = True
+            for dn in picks:
+                if dn.disk_used + nbytes > dn.disk_capacity:
+                    fits = False
+                    break
+            if fits:
+                return [dn.name for dn in picks]
+        return self._place_replicas(live, replication, None, nbytes)

@@ -6,7 +6,7 @@ import math
 from typing import TYPE_CHECKING, Optional
 
 from ..sim.engine import Environment
-from ..sim.events import Event, Timeout
+from ..sim.events import Event
 from .containers import TaskRequest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -129,12 +129,14 @@ class NodeManager:
         while self.alive and generation == self._hb_generation:
             if self._rm is None or self._rm.pending_count == 0:
                 self._wake = Event(self.env)
+                if self._rm is not None:
+                    self._rm.on_node_parked(self)
                 yield self._wake
                 self._wake = None
                 continue
             when = self._next_heartbeat_time()
             if when > self.env.now:
-                yield Timeout(self.env, when - self.env.now)
+                yield self.env.pooled_timeout(when - self.env.now)
             if not self.alive:
                 break
             self._rm.on_heartbeat(self)

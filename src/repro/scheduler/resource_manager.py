@@ -86,6 +86,15 @@ class ResourceManager:
         self.locality_wait = float(locality_wait)
         self.max_task_attempts = max_task_attempts
         self._nodes: Dict[str, NodeManager] = {}
+        #: Registration index per node name, fixing the wake order.
+        self._node_index: Dict[str, int] = {}
+        #: Heartbeat loops currently parked on an idle queue, keyed by
+        #: registration index.  Submitting work wakes only these — the
+        #: historical notify-everyone loop was O(nodes) per submit, which
+        #: dominates at trace scale — in registration order, so the wake
+        #: event sequence is identical to notifying every node (waking a
+        #: non-parked node was always a no-op).
+        self._parked: Dict[int, NodeManager] = {}
         #: FIFO queue: task -> queue position.  Python dicts preserve
         #: insertion order, so iteration order == ascending position.
         self._pending: Dict[TaskRequest, int] = {}
@@ -115,11 +124,30 @@ class ResourceManager:
     def register_node(self, node: NodeManager) -> None:
         if node.name in self._nodes:
             raise ValueError(f"duplicate NodeManager name {node.name!r}")
+        self._node_index[node.name] = len(self._node_index)
         self._nodes[node.name] = node
         node.attach(self)
 
     def nodes(self) -> List[NodeManager]:
         return list(self._nodes.values())
+
+    def on_node_parked(self, node: NodeManager) -> None:
+        """A heartbeat loop went idle; remember it for targeted wakes."""
+        self._parked[self._node_index[node.name]] = node
+
+    def _notify_parked(self) -> None:
+        """Wake every parked heartbeat loop, in registration order."""
+        parked = self._parked
+        if not parked:
+            return
+        self._parked = {}
+        if len(parked) == len(self._nodes):
+            # Everyone is parked: the registry is already in order.
+            for node in self._nodes.values():
+                node.notify_work()
+            return
+        for index in sorted(parked):
+            parked[index].notify_work()
 
     def attach_locality_index(self, index: "MemoryLocalityIndex") -> None:
         """Subscribe to a memory-locality index and enable the indexed
@@ -156,8 +184,7 @@ class ResourceManager:
         """Queue one task; it will start at some node's future heartbeat."""
         task.submitted_at = self.env.now
         self._enqueue(task)
-        for node in self._nodes.values():
-            node.notify_work()
+        self._notify_parked()
 
     def submit_all(self, tasks: List[TaskRequest]) -> None:
         """Queue a batch of tasks with a single notification round.
@@ -171,8 +198,7 @@ class ResourceManager:
             task.submitted_at = now
             self._enqueue(task)
         if tasks:
-            for node in self._nodes.values():
-                node.notify_work()
+            self._notify_parked()
 
     @property
     def pending_count(self) -> int:
@@ -286,8 +312,7 @@ class ResourceManager:
             return
         self.tasks_retried += 1
         self._enqueue(task)
-        for other in self._nodes.values():
-            other.notify_work()
+        self._notify_parked()
         if node.alive:
             self.on_heartbeat(node)
 

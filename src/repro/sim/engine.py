@@ -3,15 +3,17 @@
 from __future__ import annotations
 
 import gc
-from heapq import heappop, heappush
-from typing import Any, Generator, Optional, Union
+from heapq import heapify, heappop, heappush
+from typing import Any, Generator, Iterable, List, Optional, Union
 
 from .events import (
     NORMAL,
+    NORMAL_KEY,
     PRIORITY_SHIFT,
     AllOf,
     AnyOf,
     Event,
+    PooledTimeout,
     SimulationError,
     Timeout,
 )
@@ -36,7 +38,14 @@ class Environment:
     ``events.PRIORITY_SHIFT``).
     """
 
-    __slots__ = ("now", "_queue", "_eid", "_active_process", "monitor")
+    __slots__ = (
+        "now",
+        "_queue",
+        "_eid",
+        "_active_process",
+        "monitor",
+        "_timeout_pool",
+    )
 
     def __init__(self, initial_time: float = 0.0):
         #: Current simulation time.  A plain attribute (not a property):
@@ -46,6 +55,8 @@ class Environment:
         self._queue: list = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Free list of recycled :class:`PooledTimeout` objects.
+        self._timeout_pool: list = []
         #: Optional kernel monitor ``(when, event, callbacks) -> None``,
         #: called once per dispatched event.  ``None`` keeps the run loop
         #: on the untouched fast path; the observability layer installs
@@ -66,6 +77,65 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that triggers ``delay`` time units from now."""
         return Timeout(self, delay, value)
+
+    def pooled_timeout(self, delay: float, value: Any = None) -> PooledTimeout:
+        """A timeout drawn from the engine's free pool.
+
+        The dispatch loop recycles the object right after its callbacks
+        run (or immediately, skipping the callbacks, when it was
+        cancelled), so the caller must not retain the reference past
+        processing.  Scheduling order, keys and timing are identical to
+        :meth:`timeout`; only the allocation is saved.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            return PooledTimeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = pool.pop()
+        event.callbacks = []
+        event._value = value
+        event._processed = False
+        event._cancelled = False
+        event.delay = delay
+        self._eid += 1
+        heappush(self._queue, (self.now + delay, NORMAL_KEY + self._eid, event))
+        return event
+
+    def timeout_batch(
+        self, delays: Iterable[float], value: Any = None
+    ) -> List[Timeout]:
+        """Create one :class:`Timeout` per delay in a single heap rebuild.
+
+        Pushing N timeouts one at a time costs O(N log(N+M)) comparisons
+        against a queue of M entries; appending them all and re-heapifying
+        costs O(N+M).  Worth it when pre-scheduling a large arrival wave
+        (the scale replay schedules ~10^5 job arrivals up front).  Event
+        ids — and therefore same-instant ordering — are assigned in input
+        order, exactly as sequential ``timeout`` calls would.
+        """
+        queue = self._queue
+        now = self.now
+        eid = self._eid
+        out: List[Timeout] = []
+        append = queue.append
+        for delay in delays:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            event = Timeout.__new__(Timeout)
+            event.env = self
+            event.callbacks = []
+            event._value = value
+            event._ok = True
+            event._triggered = True
+            event._processed = False
+            event.delay = delay
+            eid += 1
+            append((now + delay, NORMAL_KEY + eid, event))
+            out.append(event)
+        self._eid = eid
+        heapify(queue)
+        return out
 
     def process(
         self, generator: Generator[Event, Any, Any], name: str = ""
@@ -119,6 +189,12 @@ class Environment:
         event.callbacks = None
         if self.monitor is not None:
             self.monitor(when, event, callbacks)
+        if event.__class__ is PooledTimeout:
+            if not event._cancelled:
+                for callback in callbacks:
+                    callback(event)
+            self._timeout_pool.append(event)
+            return
         for callback in callbacks:
             callback(event)
 
@@ -181,6 +257,8 @@ class Environment:
         queue = self._queue
         pop = heappop
         monitor = self.monitor
+        pool_append = self._timeout_pool.append
+        pooled_class = PooledTimeout
         try:
             if monitor is None:
                 while True:
@@ -192,6 +270,15 @@ class Environment:
                     callbacks = event.callbacks
                     event._processed = True
                     event.callbacks = None
+                    if event.__class__ is pooled_class:
+                        # Pooled wakeups never fail, and a cancelled one
+                        # skips its callbacks entirely — no Python
+                        # re-entry for a stale speculative wakeup.
+                        if not event._cancelled:
+                            for callback in callbacks:
+                                callback(event)
+                        pool_append(event)
+                        continue
                     for callback in callbacks:
                         callback(event)
                     if not event._ok and not callbacks:
@@ -207,6 +294,12 @@ class Environment:
                     event._processed = True
                     event.callbacks = None
                     monitor(when, event, callbacks)
+                    if event.__class__ is pooled_class:
+                        if not event._cancelled:
+                            for callback in callbacks:
+                                callback(event)
+                        pool_append(event)
+                        continue
                     for callback in callbacks:
                         callback(event)
                     if not event._ok and not callbacks:

@@ -178,6 +178,48 @@ class Timeout(Event):
         return f"<Timeout delay={self.delay} at {hex(id(self))}>"
 
 
+class PooledTimeout(Timeout):
+    """A :class:`Timeout` owned by the engine's free pool.
+
+    Created via ``Environment.pooled_timeout``; the dispatch loop returns
+    the object to the pool immediately after running its callbacks, so a
+    pooled timeout must be **fire-and-forget**: no caller may retain the
+    reference past processing (e.g. inside a :class:`Condition`) — it
+    would alias a future, recycled wakeup.  Periodic kernel-internal
+    wakeups (device reschedules, heartbeat grid sleeps, replay drivers)
+    use this to avoid one allocation per event.
+
+    ``cancel()`` retracts a speculative wakeup: the dispatch loop skips
+    the callbacks entirely and recycles the object without re-entering
+    Python — cheaper than dispatching into a callback that immediately
+    discovers it is stale.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.env = env
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
+        self._cancelled = False
+        env._eid += 1
+        heappush(env._queue, (env.now + delay, NORMAL_KEY + env._eid, self))
+
+    def cancel(self) -> None:
+        """Retract the wakeup: its callbacks will never run."""
+        self._cancelled = True
+
+    def __repr__(self) -> str:
+        state = "cancelled " if self._cancelled else ""
+        return f"<PooledTimeout {state}delay={self.delay} at {hex(id(self))}>"
+
+
 def join_all(env: "Environment", events: Iterable[Event]) -> Event:
     """Event that fires once every child has fired (lightweight ``AllOf``).
 

@@ -137,7 +137,7 @@ class Store:
         ``put`` would serve them.  Raises ``RuntimeError`` if the store
         is full (use ``put`` to wait for space instead).
         """
-        if len(self.items) >= self.capacity:
+        if self._size() >= self.capacity:
             raise RuntimeError("store is full; use put() to wait for space")
         self._insert(item)
         self._serve_getters()
@@ -146,8 +146,13 @@ class Store:
         """Take the next (matching) item; yield the event to wait for one."""
         return StoreGet(self, filter)
 
+    def _size(self) -> int:
+        """Live item count (capacity accounting); subclasses may keep
+        dead entries in ``items`` that must not count against capacity."""
+        return len(self.items)
+
     def _do_put(self, event: StorePut) -> None:
-        if len(self.items) < self.capacity:
+        if self._size() < self.capacity:
             self._insert(event.item)
             event.succeed()
             self._serve_getters()
@@ -183,7 +188,7 @@ class Store:
         self._getters = remaining
 
     def _serve_putters(self) -> None:
-        while self._putters and len(self.items) < self.capacity:
+        while self._putters and self._size() < self.capacity:
             putter = self._putters.pop(0)
             self._insert(putter.item)
             putter.succeed()
@@ -222,11 +227,14 @@ class _StableEntry:
     by the item's ordering first and insertion sequence on genuine ties.
     """
 
-    __slots__ = ("item", "seq")
+    __slots__ = ("item", "seq", "alive")
 
     def __init__(self, item: Any, seq: int):
         self.item = item
         self.seq = seq
+        #: Lazy-cancellation flag: dead entries stay in the heap (so no
+        #: O(n) re-heapify per removal) and are skipped or compacted away.
+        self.alive = True
 
     def __lt__(self, other: "_StableEntry") -> bool:
         if self.item < other.item:
@@ -247,6 +255,11 @@ class PriorityStore(Store):
     def __init__(self, env: "Environment", capacity: float = float("inf")):
         super().__init__(env, capacity)
         self._seq = 0
+        #: Count of tombstoned (lazily-cancelled) heap entries.
+        self._dead = 0
+
+    def _size(self) -> int:
+        return len(self.items) - self._dead
 
     def _insert(self, item: Any) -> None:
         self._seq += 1
@@ -254,37 +267,65 @@ class PriorityStore(Store):
 
     def _next_index(self, filter: Optional[Callable[[Any], bool]]) -> Optional[int]:
         if filter is None:
-            return 0 if self.items else None
+            return 0 if self._size() else None
         for index, entry in enumerate(self.items):
-            if filter(entry.item):
+            if entry.alive and filter(entry.item):
                 return index
         return None
 
     def _serve_getters(self) -> None:
+        items = self.items
         remaining = []
         for getter in self._getters:
             if getter.triggered:
                 continue
+            # Dead entries surface at the top like any other; drop them
+            # before picking so index 0 always names a live minimum.
+            while items and not items[0].alive:
+                heapq.heappop(items)
+                self._dead -= 1
             index = self._next_index(getter.filter)
             if index is None:
                 remaining.append(getter)
             elif index == 0:
-                entry = heapq.heappop(self.items)
+                entry = heapq.heappop(items)
                 getter.succeed(entry.item)
             else:
-                entry = self.items.pop(index)
-                heapq.heapify(self.items)
+                # A filtered match below the top: tombstone it in place
+                # (the old pop-and-reheapify was O(n) per filtered get).
+                entry = items[index]
+                entry.alive = False
+                self._dead += 1
                 getter.succeed(entry.item)
         self._getters = remaining
+        self._maybe_compact()
 
     def remove(self, predicate: Callable[[Any], bool]) -> list:
-        """Remove and return all queued items matching ``predicate``."""
-        removed = [entry.item for entry in self.items if predicate(entry.item)]
+        """Remove and return all queued items matching ``predicate``.
+
+        Removal is lazy: matching entries are tombstoned in place, and the
+        heap is rebuilt only when dead entries outnumber live ones —
+        without this, long runs with heavy cancellation (job teardown,
+        slave purges) grow the heap without bound.
+        """
+        removed = []
+        dead = self._dead
+        for entry in self.items:
+            if entry.alive and predicate(entry.item):
+                entry.alive = False
+                dead += 1
+                removed.append(entry.item)
+        self._dead = dead
         if removed:
-            kept = [entry for entry in self.items if not predicate(entry.item)]
-            self.items = kept
-            heapq.heapify(self.items)
+            self._maybe_compact()
         return removed
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once dead entries exceed half of it."""
+        if self._dead * 2 > len(self.items):
+            self.items = [entry for entry in self.items if entry.alive]
+            heapq.heapify(self.items)
+            self._dead = 0
 
 
 class ContainerPut(Event):

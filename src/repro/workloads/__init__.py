@@ -2,6 +2,13 @@
 Google cluster trace used by the Section II feasibility analyses."""
 
 from .google_trace import GoogleTraceGenerator, GoogleTraceJob, TaskUsageInterval
+from .scale import (
+    ScaleConfig,
+    ScaleResult,
+    build_scale_cluster,
+    format_scale_result,
+    run_scale_replay,
+)
 from .sort import SORT_INPUT_BYTES, SORT_INPUT_PATH, make_sort_spec
 from .swim import SwimGenerator, SwimJob, size_bin, to_specs
 from .trace_io import (
@@ -18,13 +25,18 @@ __all__ = [
     "GoogleTraceJob",
     "SORT_INPUT_BYTES",
     "SORT_INPUT_PATH",
+    "ScaleConfig",
+    "ScaleResult",
     "SwimGenerator",
     "SwimJob",
     "TaskUsageInterval",
+    "build_scale_cluster",
+    "format_scale_result",
     "load_google_jobs",
     "load_swim_trace",
     "make_sort_spec",
     "make_wordcount_spec",
+    "run_scale_replay",
     "save_google_jobs",
     "save_swim_trace",
     "size_bin",

@@ -264,7 +264,7 @@ class TestPriorityStore:
             "item-2",
             "item-4",
         ]
-        assert len(store.items) == 3
+        assert store._size() == 3
 
     def test_filtered_get_from_priority_store(self):
         env = Environment()
@@ -284,7 +284,81 @@ class TestPriorityStore:
         env.process(consumer(env, store))
         env.run()
         assert got == ["b"]
-        assert len(store.items) == 1
+        assert store._size() == 1
+
+
+class TestPriorityStoreCompaction:
+    """Tombstoned (lazily-cancelled) entries must not grow without bound."""
+
+    def _fill(self, store, count, start=0):
+        for priority in range(start, start + count):
+            store.put_nowait(PriorityItem(priority, f"item-{priority}"))
+
+    def test_remove_compacts_when_dead_exceeds_half(self):
+        env = Environment()
+        store = PriorityStore(env)
+        self._fill(store, 100)
+        removed = store.remove(lambda entry: entry.priority >= 40)
+        assert len(removed) == 60
+        # 60 dead of 100 is over half: the heap must have been rebuilt.
+        assert store._dead == 0
+        assert len(store.items) == 40
+        assert store._size() == 40
+
+    def test_garbage_stays_bounded_under_churn(self):
+        env = Environment()
+        store = PriorityStore(env)
+        for round_no in range(50):
+            self._fill(store, 20, start=round_no * 20)
+            store.remove(lambda entry: entry.priority % 2 == 0)
+        # Without compaction the heap would hold ~500 tombstones; with it,
+        # dead entries never exceed half the heap.
+        assert store._dead * 2 <= len(store.items)
+        assert store._size() == 500
+
+    def test_removed_items_never_served(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+        self._fill(store, 10)
+        store.remove(lambda entry: entry.priority < 5)
+
+        def consumer(env, store):
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item.item)
+
+        env.process(consumer(env, store))
+        env.run()
+        assert got == [f"item-{p}" for p in range(5, 10)]
+
+    def test_tombstones_do_not_count_against_capacity(self):
+        env = Environment()
+        store = PriorityStore(env, capacity=3)
+        self._fill(store, 3)
+        store.remove(lambda entry: entry.priority == 1)
+        # One live slot was freed; a put must succeed immediately.
+        store.put_nowait(PriorityItem(99, "replacement"))
+        assert store._size() == 3
+        with pytest.raises(RuntimeError):
+            store.put_nowait(PriorityItem(100, "overflow"))
+
+    def test_filtered_get_tombstones_below_top(self):
+        env = Environment()
+        store = PriorityStore(env)
+        got = []
+        self._fill(store, 4)
+
+        def consumer(env, store):
+            item = yield store.get(filter=lambda e: e.priority == 3)
+            got.append(item.item)
+            item = yield store.get()
+            got.append(item.item)
+
+        env.process(consumer(env, store))
+        env.run()
+        assert got == ["item-3", "item-0"]
+        assert store._size() == 2
 
 
 class TestContainer:
