@@ -10,9 +10,10 @@ Usage::
     python -m repro profile --mode ignem --num-jobs 200 --top 30
     python -m repro profile --workload scale --nodes 1000 --jobs 10000
     python -m repro scale --nodes 10000 --jobs 100000
-    python -m repro chaos --seeds 10
+    python -m repro chaos --seeds 10 --elasticity
     python -m repro dst --runs 25 --seed 0
     python -m repro dst --replay tests/dst/corpus
+    python -m repro heal --out results/
 
 Every subcommand shares the ``--out``/``--seed`` pair (one parent
 parser), and observability is exposed uniformly: ``--trace`` /
@@ -208,6 +209,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="distinct nodes each schedule may crash",
     )
+    chaos.add_argument(
+        "--elasticity",
+        action="store_true",
+        help=(
+            "also draw kill/join/decommission events into every schedule "
+            "(exercises self-healing replication)"
+        ),
+    )
 
     dst = sub.add_parser(
         "dst",
@@ -236,8 +245,18 @@ def build_parser() -> argparse.ArgumentParser:
     dst.add_argument(
         "--sabotage",
         default=None,
-        choices=("evict-to-admit", "fifo-queue", "overcommit-buffer"),
+        choices=(
+            "evict-to-admit",
+            "fifo-queue",
+            "overcommit-buffer",
+            "disable-repair",
+        ),
         help="plant a bug in the live system (harness self-test)",
+    )
+    dst.add_argument(
+        "--elasticity",
+        action="store_true",
+        help="generate kill/join/decommission faults in fuzzed scenarios",
     )
     dst.add_argument(
         "--no-shrink",
@@ -249,6 +268,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write the dst.* metrics-registry snapshot to FILE",
+    )
+
+    heal = sub.add_parser(
+        "heal",
+        parents=[common],
+        help="demo self-healing replication under kill/join/decommission",
+        description=(
+            "Run the SWIM workload while a scripted elasticity schedule "
+            "kills a node mid-flight, joins a fresh one, and decommissions "
+            "a third.  The replication monitor repairs under-replicated "
+            "blocks over pipelined copy chains; the run ends with the "
+            "invariant checker's verdict.  Writes heal.json and heal.txt "
+            "under --out.  Exits 1 on any invariant violation."
+        ),
+    )
+    heal.add_argument(
+        "--num-jobs", type=int, default=40, help="SWIM jobs to run"
+    )
+    heal.add_argument(
+        "--disable-repair",
+        action="store_true",
+        help=(
+            "contrast mode: turn the replication monitor off and show the "
+            "invariant checker convicting the permanent under-replication"
+        ),
     )
     return parser
 
@@ -328,6 +372,7 @@ def run_chaos(args) -> int:
         num_jobs=args.num_jobs,
         ha=not args.no_ha,
         max_node_crashes=args.max_node_crashes,
+        elasticity=args.elasticity,
     )
     report = runner.sweep(seeds=args.seeds, base_seed=args.seed)
     print(report.format())
@@ -340,7 +385,11 @@ def run_dst(args) -> int:
 
     from .dst import DstRunner, corpus_paths
 
-    runner = DstRunner(seed=args.seed, sabotage=args.sabotage)
+    runner = DstRunner(
+        seed=args.seed,
+        sabotage=args.sabotage,
+        elasticity=args.elasticity,
+    )
     if args.replay:
         paths = []
         for entry in args.replay:
@@ -360,6 +409,30 @@ def run_dst(args) -> int:
         )
         print(f"metrics snapshot written to {snapshot_path}")
     return 0 if report.ok else 1
+
+
+def run_heal(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .faults.heal import format_heal_result, run_heal_demo
+
+    result = run_heal_demo(
+        seed=args.seed,
+        num_jobs=args.num_jobs,
+        disable_repair=args.disable_repair,
+    )
+    report = format_heal_result(result)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "heal.json").write_text(
+        json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    (out_dir / "heal.txt").write_text(report + "\n")
+    print(report)
+    print(f"\nresults written to {args.out}/heal.json")
+    return 0 if result.ok else 1
 
 
 def run_trace(args) -> int:
@@ -405,6 +478,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_trace(args)
     if args.command == "dst":
         return run_dst(args)
+    if args.command == "heal":
+        return run_heal(args)
 
     names = None if args.command == "all" else args.experiments
     try:

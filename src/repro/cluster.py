@@ -120,36 +120,7 @@ class Cluster:
         for index in range(cfg.num_nodes):
             name = f"node{index}"
             self.network.add_node(name)
-            if cfg.tier_preset is None:
-                # Classic 2-tier stack: construct devices exactly as the
-                # pre-tier wiring did (order and names are part of the
-                # deterministic clean-path contract).
-                disk = (
-                    make_hdd(self.env, f"hdd-{name}")
-                    if cfg.disk_kind == "hdd"
-                    else make_ssd(self.env, f"ssd-{name}")
-                )
-                datanode = DataNode(
-                    self.env,
-                    name,
-                    disk=disk,
-                    ram=make_ram(self.env, f"ram-{name}"),
-                    cache_capacity=cfg.ram_capacity,
-                    disk_capacity=cfg.disk_capacity,
-                )
-            else:
-                specs = cfg.tier_specs()
-                bottom = min(specs, key=lambda spec: spec.height)
-                capacities = {MEM: cfg.ram_capacity, bottom.name: cfg.disk_capacity}
-                for spec in specs:
-                    if spec.name not in capacities:
-                        capacities[spec.name] = cfg.ssd_capacity
-                datanode = DataNode(
-                    self.env,
-                    name,
-                    tiers=build_tier_set(self.env, specs, name, capacities),
-                    disk_capacity=cfg.disk_capacity,
-                )
+            datanode = self._build_datanode(name)
             self.namenode.register_datanode(datanode)
             self.datanodes[name] = datanode
             self.rm.register_node(
@@ -172,6 +143,14 @@ class Cluster:
         self.ignem_master: Optional[IgnemMaster] = None
         self.ignem_slaves: Dict[str, IgnemSlave] = {}
         self.replication_monitor: Optional[ReplicationMonitor] = None
+        self._ignem_config: Optional[IgnemConfig] = None
+        #: Nodes released by a completed decommission: their entry stays
+        #: in :attr:`datanodes` (counters/devices remain inspectable) but
+        #: they are gone from the namespace, network, and scheduler.
+        self.released_nodes: set = set()
+        #: ``(sim_time, node)`` per completed decommission, in order.
+        self.decommission_log: List[tuple] = []
+        self._decommission_watch: set = set()
 
         #: Observability facade: the metrics registry is always live
         #: (passive bookkeeping); tracing activates via
@@ -181,6 +160,41 @@ class Cluster:
         if cfg.observability.enabled:
             self.obs.activate()
             self.obs.attach(self)
+
+    def _build_datanode(self, name: str) -> DataNode:
+        """Construct one DataNode per the cluster config.  Device
+        construction order and names are part of the deterministic
+        clean-path contract — keep them exactly as the pre-tier wiring."""
+        cfg = self.config
+        if cfg.tier_preset is None:
+            # Classic 2-tier stack: construct devices exactly as the
+            # pre-tier wiring did (order and names are part of the
+            # deterministic clean-path contract).
+            disk = (
+                make_hdd(self.env, f"hdd-{name}")
+                if cfg.disk_kind == "hdd"
+                else make_ssd(self.env, f"ssd-{name}")
+            )
+            return DataNode(
+                self.env,
+                name,
+                disk=disk,
+                ram=make_ram(self.env, f"ram-{name}"),
+                cache_capacity=cfg.ram_capacity,
+                disk_capacity=cfg.disk_capacity,
+            )
+        specs = cfg.tier_specs()
+        bottom = min(specs, key=lambda spec: spec.height)
+        capacities = {MEM: cfg.ram_capacity, bottom.name: cfg.disk_capacity}
+        for spec in specs:
+            if spec.name not in capacities:
+                capacities[spec.name] = cfg.ssd_capacity
+        return DataNode(
+            self.env,
+            name,
+            tiers=build_tier_set(self.env, specs, name, capacities),
+            disk_capacity=cfg.disk_capacity,
+        )
 
     @property
     def metrics(self):
@@ -201,6 +215,7 @@ class Cluster:
         if self.ignem_master is not None:
             raise RuntimeError("Ignem is already enabled on this cluster")
         ignem_config = config or IgnemConfig()
+        self._ignem_config = ignem_config
         if ha:
             from .core.ha import HighAvailabilityMaster
 
@@ -266,11 +281,12 @@ class Cluster:
         return master
 
     def enable_rereplication(
-        self, max_concurrent_per_source: int = 2
+        self, max_concurrent_per_source: int = 2, config=None
     ) -> ReplicationMonitor:
-        """Attach an HDFS-style replication monitor.  Call its
-        ``handle_node_failure(node)`` (or :meth:`fail_node`) when a
-        server dies to restore replication factors."""
+        """Attach the self-healing replication monitor.  :meth:`fail_node`,
+        :meth:`restart_node`, :meth:`add_datanode`, and
+        :meth:`decommission` notify it automatically; pass a
+        :class:`~repro.dfs.replication.RepairConfig` to tune scheduling."""
         if self.replication_monitor is None:
             self.replication_monitor = ReplicationMonitor(
                 self.env,
@@ -278,8 +294,110 @@ class Cluster:
                 self.network,
                 rng=self.rng.spawn("re-replication"),
                 max_concurrent_per_source=max_concurrent_per_source,
+                config=config,
+                registry=self.obs.registry,
             )
+            monitor = self.replication_monitor
+            self.obs.registry.register_pull(
+                "dfs.repair.under_replicated_blocks",
+                lambda: len(monitor.under_replicated_blocks()),
+            )
+            if self.obs.active:
+                monitor.obs = self.obs
         return self.replication_monitor
+
+    # -- elasticity -----------------------------------------------------------------
+
+    def add_datanode(self, name: Optional[str] = None) -> DataNode:
+        """Grow the cluster by one live node (elasticity join).
+
+        The node gets the same device stack, scheduler slots, and Ignem
+        slave (when Ignem is enabled) as the original nodes, starts
+        heartbeating on the shared stagger grid, and — when the
+        replication monitor is enabled — attracts background rebalancing
+        until it carries its fair share of replicas."""
+        cfg = self.config
+        if name is None:
+            index = len(self.datanodes)
+            while f"node{index}" in self.datanodes:
+                index += 1
+            name = f"node{index}"
+        if name in self.datanodes:
+            raise ValueError(f"node name {name!r} already exists")
+        from .scheduler.node_manager import NodeManager
+
+        self.network.add_node(name)
+        datanode = self._build_datanode(name)
+        self.namenode.register_datanode(datanode)
+        self.datanodes[name] = datanode
+        stagger = cfg.heartbeat_interval / max(1, cfg.num_nodes)
+        self.rm.register_node(
+            NodeManager(
+                self.env,
+                name,
+                slots=cfg.slots_per_node,
+                heartbeat_interval=cfg.heartbeat_interval,
+                heartbeat_offset=(len(self.datanodes) - 1) * stagger,
+            )
+        )
+        if self.ignem_master is not None:
+            slave = IgnemSlave(
+                self.env,
+                datanode,
+                self.rm,
+                self._ignem_config,
+                self.collector,
+                registry=self.obs.registry,
+                tier_accumulator=self.tier_totals,
+            )
+            self.ignem_master.attach_slave(slave)
+            self.ignem_slaves[name] = slave
+            if self.obs.active:
+                slave.obs = self.obs
+        if self.obs.active:
+            self.obs.attach_datanode(self, name)
+        if self.replication_monitor is not None:
+            self.replication_monitor.handle_node_join(name)
+        return datanode
+
+    def decommission(self, name: str):
+        """Gracefully drain ``name`` and release it once every resident
+        block is safe elsewhere.  Returns the drain-completion
+        :class:`~repro.sim.events.Event`; the release itself (DataNode,
+        slave, NodeManager, NIC teardown and namespace removal) runs
+        automatically when the drain finishes."""
+        if name not in self.datanodes:
+            raise ValueError(f"unknown node {name!r}")
+        if name in self.released_nodes:
+            raise RuntimeError(f"{name} is already decommissioned")
+        monitor = self.enable_rereplication()
+        done = monitor.decommission(name)
+        if name not in self._decommission_watch:
+            self._decommission_watch.add(name)
+            done.callbacks.append(lambda _event: self._release_node(name))
+        return done
+
+    def _release_node(self, name: str) -> None:
+        """Final decommission step: tear the node down like a failure —
+        but only after the drain guaranteed no block drops below its
+        replication target — then drop it from the namespace map."""
+        if name in self.released_nodes:
+            return
+        self.released_nodes.add(name)
+        self.decommission_log.append((self.env.now, name))
+        self._decommission_watch.discard(name)
+        if name in self.ignem_slaves:
+            self.ignem_slaves[name].decommission()
+        self.datanodes[name].fail()
+        self.network.fail_node(name)
+        if self.ignem_master is not None:
+            self.ignem_master.handle_slave_failure(name)
+        for node_manager in self.rm.nodes():
+            if node_manager.name == name:
+                node_manager.fail()
+        self.namenode.remove_datanode(name)
+        if self.replication_monitor is not None:
+            self.replication_monitor.retry_stalled()
 
     def fail_node(self, name: str) -> None:
         """Kill a whole server: DataNode, Ignem slave, NodeManager, and
@@ -288,6 +406,8 @@ class Cluster:
         memory-locality index entries), the Ignem master drops its routing
         state for the node, and re-replication is triggered when the
         monitor is enabled."""
+        if name in self.released_nodes:
+            return  # already torn down by a completed decommission
         if name in self.ignem_slaves:
             self.ignem_slaves[name].fail()
         self.datanodes[name].fail()
@@ -304,6 +424,8 @@ class Cluster:
         """Bring a failed server back: the DataNode, slave, and
         NodeManager processes restart with empty in-memory state; disk
         blocks survive (paper III-A5)."""
+        if name in self.released_nodes:
+            raise RuntimeError(f"{name} was decommissioned; it cannot restart")
         self.datanodes[name].restart()
         self.network.restore_node(name)
         if name in self.ignem_slaves:
@@ -311,6 +433,8 @@ class Cluster:
         for node_manager in self.rm.nodes():
             if node_manager.name == name:
                 node_manager.restart()
+        if self.replication_monitor is not None:
+            self.replication_monitor.handle_node_restart(name)
 
     def pin_all_inputs(self, paths: Optional[Sequence[str]] = None) -> None:
         """The vmtouch baseline: lock every (or the given) input file's

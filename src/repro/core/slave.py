@@ -200,6 +200,14 @@ class IgnemSlave:
         self.alive = False
         self.purge_all(reason="failure")
 
+    def decommission(self) -> None:
+        """Graceful shutdown for a node leaving the cluster: stop
+        accepting work and release every migrated block (the eviction
+        records carry ``reason="decommission"`` so byte accounting can
+        tell a drain from a crash)."""
+        self.alive = False
+        self.purge_all(reason="decommission")
+
     def restart(self) -> None:
         """Restart on the same server; comes back with empty state."""
         self.alive = True

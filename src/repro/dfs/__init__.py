@@ -10,7 +10,7 @@ from .client import ClientRead, DFSClient
 from .datanode import DataNode, DataNodeError, ReadHandle
 from .memory_index import MemoryLocalityIndex
 from .namenode import NameNode, NameNodeError
-from .replication import ReplicationMonitor
+from .replication import RepairConfig, ReplicationMonitor
 from .tier_index import TierLocalityIndex
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "FileMetadata",
     "NameNode",
     "NameNodeError",
+    "RepairConfig",
     "ReplicationMonitor",
     "ReadHandle",
     "split_into_blocks",

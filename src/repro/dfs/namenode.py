@@ -105,6 +105,31 @@ class NameNode:
                 nodes.remove(name)
         self.tier_index.purge_node(name)
 
+    def add_block_replica(self, block_id: str, node: str) -> None:
+        """Register ``node`` as a replica holder (re-replication commit).
+
+        Raises if the block is unknown or the node already holds it —
+        the repair machinery must never double-list a holder.
+        """
+        nodes = self._locations.get(block_id)
+        if nodes is None:
+            raise NameNodeError(f"unknown block {block_id!r}")
+        if node in nodes:
+            raise NameNodeError(f"{node} already holds {block_id}")
+        nodes.append(node)
+
+    def remove_block_replica(self, block_id: str, node: str) -> None:
+        """Forget ``node`` as a holder (excess-replica thinning or a
+        rebalance move retiring the donor's copy)."""
+        nodes = self._locations.get(block_id)
+        if nodes is not None and node in nodes:
+            nodes.remove(node)
+
+    def block_replicas(self, block_id: str) -> List[str]:
+        """Every registered holder, live or not (unlike
+        :meth:`get_block_locations` which filters dead nodes)."""
+        return list(self._locations.get(block_id, ()))
+
     def _on_residency_delta(self, node: str, tier: str, key, resident: bool) -> None:
         """Fold one DataNode tier-residency delta into the tier index.
 

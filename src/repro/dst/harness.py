@@ -31,7 +31,12 @@ from .oracles import OracleContext, OracleReport, run_oracles
 from .scenario import Scenario
 
 #: Sabotage modes for harness self-tests (see ``apply_sabotage``).
-SABOTAGE_MODES = ("evict-to-admit", "fifo-queue", "overcommit-buffer")
+SABOTAGE_MODES = (
+    "evict-to-admit",
+    "fifo-queue",
+    "overcommit-buffer",
+    "disable-repair",
+)
 
 #: SWIM-style IO movers: modest per-byte compute (matches swim_runs).
 _MAP_CPU_FACTOR = 0.25
@@ -75,7 +80,7 @@ def build_cluster(scenario: Scenario) -> Tuple[Cluster, DifferentialChecker]:
             tier_preset=scenario.tier_preset,
             engine=EngineConfig(output_replication=1),
             observability=ObservabilityConfig(
-                enabled=True, categories=("ignem",)
+                enabled=True, categories=("ignem", "repair")
             ),
         )
     )
@@ -111,6 +116,9 @@ def apply_sabotage(cluster: Cluster, mode: str) -> None:
       differential model.
     * ``overcommit-buffer`` — quadruple the *real* buffer cap behind the
       scenario's back: usage may exceed the declared cap.
+    * ``disable-repair`` — turn the replication monitor off: a permanent
+      node loss leaves blocks under-replicated forever, which the
+      replication and fault-invariant oracles must convict.
     """
     if mode not in SABOTAGE_MODES:
         raise ValueError(
@@ -122,6 +130,8 @@ def apply_sabotage(cluster: Cluster, mode: str) -> None:
     elif mode == "fifo-queue":
         for slave in cluster.ignem_slaves.values():
             slave.policy = make_policy("fifo")
+    elif mode == "disable-repair":
+        cluster.replication_monitor.enabled = False
     else:  # overcommit-buffer
         object.__setattr__(
             config, "buffer_capacity", config.buffer_capacity * 4
@@ -155,14 +165,16 @@ def _fault_timelines(
     injector: FaultInjector, cluster: Cluster, ha: bool
 ) -> Tuple[List[Tuple[float, str]], Dict[str, List[Tuple[float, float]]]]:
     """Derive queue-purge instants and server outage windows from the
-    faults actually applied (crashes purge one slave; a master failover
-    with HA, or a cold master restart without, purges every slave)."""
+    faults actually applied (crashes and kills purge one slave; a master
+    failover with HA, or a cold master restart without, purges every
+    slave; a completed decommission purges its node at release time and
+    leaves it down for good)."""
     purges: List[Tuple[float, str]] = []
     down_windows: Dict[str, List[Tuple[float, float]]] = {}
     open_outage: Dict[str, float] = {}
     all_nodes = sorted(cluster.ignem_slaves)
     for when, event in injector.applied:
-        if event.kind == "crash":
+        if event.kind in ("crash", "kill"):
             purges.append((when, event.target))
             open_outage[event.target] = when
         elif event.kind == "restart":
@@ -175,6 +187,10 @@ def _fault_timelines(
             purges.extend((when, node) for node in all_nodes)
         elif event.kind == "master_recover" and not ha:
             purges.extend((when, node) for node in all_nodes)
+    for when, node in cluster.decommission_log:
+        purges.append((when, node))
+        open_outage.setdefault(node, when)
+    purges.sort()
     for node, down_at in open_outage.items():
         down_windows.setdefault(node, []).append((down_at, float("inf")))
     return purges, down_windows
@@ -253,6 +269,12 @@ def run_scenario(
         "migrations_completed": registry.counter(
             "ignem.slave.migrations_completed"
         ).value,
+        "repair_copies": cluster.replication_monitor.copies_completed,
+        "repair_excess_dropped": cluster.replication_monitor.excess_dropped,
+        "decommissions_completed": len(cluster.decommission_log),
+        "nodes_joined": sum(
+            1 for _, event in injector.applied if event.kind == "join"
+        ),
         "trace_events": len(trace_events),
         "sim_time": cluster.env.now,
     }

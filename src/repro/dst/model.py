@@ -314,6 +314,24 @@ class DifferentialChecker:
             evicted_at = last_evicted.get(block_id)
             return evicted_at is not None and abs(now - evicted_at) <= _TIME_EPS
 
+        def visibly_skipped(entry: DeliveredItem) -> bool:
+            """True when the next observed pop is ``entry`` marked skipped.
+
+            The live slave checks the reference list before the
+            already-migrated set: a pop whose refs are gone records a
+            visible "skipped" outcome even for a resident block, while a
+            still-referenced resident block is swallowed silently.  The
+            model cannot see reference counts, so a resident head is only
+            dropped silently when the slave did not visibly skip it.
+            """
+            if pop_index >= len(pops):
+                return False
+            observed = pops[pop_index]
+            return observed.outcome == "skipped" and (
+                observed.job_id,
+                observed.block_id,
+            ) == (entry.job_id, entry.block_id)
+
         def occupy(observed: PopEvent) -> None:
             nonlocal busy
             busy = True
@@ -379,7 +397,7 @@ class DifferentialChecker:
         def drain(now: float) -> None:
             while pending and not busy:
                 _, _, head = pending[0]
-                if droppable(head.block_id, now):
+                if droppable(head.block_id, now) and not visibly_skipped(head):
                     heapq.heappop(pending)  # silent drop, zero sim time
                     continue
                 if serve(head, now):
@@ -400,7 +418,9 @@ class DifferentialChecker:
                     # resolves does the worker see the rest, sorted.
                     first = items[0]
                     start = 1
-                    if droppable(first.block_id, now):
+                    if droppable(first.block_id, now) and not visibly_skipped(
+                        first
+                    ):
                         pass  # silent zero-time drop, as in drain()
                     elif not serve(first, now):
                         heapq.heappush(

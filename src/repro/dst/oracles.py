@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..faults.invariants import InvariantChecker
+from ..faults.invariants import InvariantChecker, replication_violations
 from .model import DifferentialChecker
 from .scenario import Scenario
 
@@ -306,6 +306,40 @@ def oracle_fault_invariants(ctx: OracleContext) -> List[str]:
     return InvariantChecker(ctx.cluster).check(ctx.injector)
 
 
+def oracle_replication(ctx: OracleContext) -> List[str]:
+    """Replication factor restored: after full drain, every surviving
+    block holds ``min(replication, live_nodes)`` live replicas on
+    distinct nodes — kills and decommissions must have been healed by
+    re-replication, and restarts must have had their excess thinned
+    without double-listing a holder."""
+    return replication_violations(
+        ctx.cluster.namenode, when=ctx.cluster.env.now
+    )
+
+
+def oracle_no_data_loss(ctx: OracleContext) -> List[str]:
+    """Zero lost blocks: every block of a ``replication >= 2`` file
+    retains at least one live replica at end of run, unless the run
+    legitimately took down at least as many concurrent servers as the
+    file's replication factor (then all copies may be gone at once and
+    no repair could have sourced one)."""
+    namenode = ctx.cluster.namenode
+    max_down = getattr(ctx.injector, "max_concurrent_down", 0)
+    violations = []
+    for path in namenode.list_files():
+        metadata = namenode.get_file(path)
+        if metadata.replication < 2 or max_down >= metadata.replication:
+            continue
+        for block in metadata.blocks:
+            if not namenode.get_block_locations(block.block_id):
+                violations.append(
+                    f"{block.block_id} ({path}): zero live replicas at "
+                    f"end of run (replication={metadata.replication}, "
+                    f"max {max_down} server(s) concurrently down)"
+                )
+    return violations
+
+
 #: Registry: (name, fn) in evaluation order.
 ALL_ORACLES = (
     ("differential", oracle_differential),
@@ -315,6 +349,8 @@ ALL_ORACLES = (
     ("post_crash", oracle_post_crash),
     ("conservation", oracle_conservation),
     ("fault_invariants", oracle_fault_invariants),
+    ("replication", oracle_replication),
+    ("no_data_loss", oracle_no_data_loss),
 )
 
 

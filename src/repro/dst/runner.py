@@ -73,10 +73,13 @@ class DstRunner:
         seed: int = 0,
         sabotage: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
+        elasticity: bool = False,
     ):
         self.seed = seed
         self.sabotage = sabotage
         self.registry = registry or MetricsRegistry()
+        #: Generate kill/join/decommission faults in fuzzed scenarios.
+        self.elasticity = elasticity
 
     def _judge(self, scenario: Scenario) -> ScenarioResult:
         result = run_scenario(scenario, sabotage=self.sabotage)
@@ -94,7 +97,7 @@ class DstRunner:
         """Judge up to ``runs`` generated scenarios; stop at the first
         failure, minimize it, and (optionally) serialize the result."""
         report = DstReport(mode="fuzz", seed=self.seed)
-        generator = ScenarioGenerator(self.seed)
+        generator = ScenarioGenerator(self.seed, elasticity=self.elasticity)
         for index in range(runs):
             scenario = generator.generate(index)
             result = self._judge(scenario)

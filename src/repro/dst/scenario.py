@@ -265,8 +265,12 @@ class ScenarioGenerator:
     never perturbs earlier scenarios.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, elasticity: bool = False):
         self.seed = int(seed)
+        #: Draw kill/join/decommission events into fault plans.  Off by
+        #: default: elasticity draws append to (never reorder) the
+        #: classic stream, so old corpus scenarios stay byte-identical.
+        self.elasticity = bool(elasticity)
 
     def generate(self, index: int = 0) -> Scenario:
         scenario_seed = derive_seed(self.seed, f"dst-scenario-{index}")
@@ -393,6 +397,7 @@ class ScenarioGenerator:
             node_names,
             horizon,
             max_node_crashes=max(0, min(2, num_nodes - 1)),
+            elasticity=self.elasticity,
         )
         return schedule.events
 

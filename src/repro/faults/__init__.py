@@ -2,7 +2,11 @@
 
 from .chaos import ChaosReport, ChaosRunner, ChaosRunResult
 from .injector import FaultInjector
-from .invariants import InvariantChecker, data_loss_violations
+from .invariants import (
+    InvariantChecker,
+    data_loss_violations,
+    replication_violations,
+)
 from .schedule import FAULT_KINDS, FaultEvent, FaultSchedule
 
 __all__ = [
@@ -15,4 +19,5 @@ __all__ = [
     "FaultSchedule",
     "InvariantChecker",
     "data_loss_violations",
+    "replication_violations",
 ]

@@ -31,6 +31,10 @@ class ChaosRunResult:
     seed: int
     faults_applied: int
     crashes: int
+    kills: int
+    joins: int
+    decommissions: int
+    repair_copies: int
     jobs_total: int
     jobs_completed: int
     jobs_failed: int
@@ -62,12 +66,14 @@ class ChaosReport:
 
     def format(self) -> str:
         lines = [
-            "seed  faults  crashes  jobs ok/fail  retries  reroutes  "
-            "abandoned  failovers  violations"
+            "seed  faults  crashes  kill/join/decomm  repairs  "
+            "jobs ok/fail  retries  reroutes  abandoned  failovers  violations"
         ]
         for r in self.results:
             lines.append(
                 f"{r.seed:>4}  {r.faults_applied:>6}  {r.crashes:>7}  "
+                f"{r.kills:>4}/{r.joins}/{r.decommissions:<7}  "
+                f"{r.repair_copies:>7}  "
                 f"{r.jobs_completed:>7}/{r.jobs_failed:<4}  "
                 f"{r.command_retries:>7}  {r.commands_rerouted:>8}  "
                 f"{r.commands_abandoned:>9}  {r.failovers:>9}  "
@@ -92,10 +98,14 @@ class ChaosRunner:
         num_jobs: int = 40,
         ha: bool = True,
         max_node_crashes: int = 2,
+        elasticity: bool = False,
     ):
         self.num_jobs = num_jobs
         self.ha = ha
         self.max_node_crashes = max_node_crashes
+        #: Draw kill/join/decommission events into every schedule,
+        #: exercising the self-healing replication subsystem.
+        self.elasticity = elasticity
 
     def run_seed(self, seed: int) -> ChaosRunResult:
         """One full chaos run: workload + faults + drain + invariants."""
@@ -110,6 +120,7 @@ class ChaosRunner:
             cluster.node_names(),
             horizon,
             max_node_crashes=self.max_node_crashes,
+            elasticity=self.elasticity,
         )
         injector = FaultInjector(cluster, schedule)
         injector.start()
@@ -131,10 +142,15 @@ class ChaosRunner:
         master = cluster.ignem_master
         failovers = getattr(master, "_failovers", 0) if master is not None else 0
         registry = cluster.metrics
+        monitor = cluster.replication_monitor
         return ChaosRunResult(
             seed=seed,
             faults_applied=len(injector.applied),
             crashes=len(schedule.crashed_nodes()),
+            kills=sum(1 for _, e in injector.applied if e.kind == "kill"),
+            joins=sum(1 for _, e in injector.applied if e.kind == "join"),
+            decommissions=len(injector.decommissions_completed),
+            repair_copies=monitor.copies_completed,
             jobs_total=len(jobs),
             jobs_completed=sum(1 for job in jobs if job.finished_at is not None),
             jobs_failed=sum(1 for job in jobs if job.failed),

@@ -45,6 +45,9 @@ class FaultInjector:
         #: replication factor can tolerate).
         self.violations: List[str] = []
         self.max_concurrent_down = 0
+        #: ``(completion_time, node)`` per decommission drain that
+        #: finished during the run (scheduled by ``decommission`` events).
+        self.decommissions_completed: List[Tuple[float, str]] = []
         self._down: Set[str] = set()
         self._saved_bandwidth: Dict[str, float] = {}
         self._loss_prob = 0.0
@@ -83,7 +86,7 @@ class FaultInjector:
 
     def _apply_crash(self, event: FaultEvent):
         name = event.target
-        if name in self._down:
+        if name in self._down or name in self.cluster.released_nodes:
             return False
         self._down.add(name)
         self.max_concurrent_down = max(self.max_concurrent_down, len(self._down))
@@ -96,10 +99,49 @@ class FaultInjector:
 
     def _apply_restart(self, event: FaultEvent):
         name = event.target
-        if name not in self._down:
+        if name not in self._down or name in self.cluster.released_nodes:
             return False
         self._down.discard(name)
         self.cluster.restart_node(name)
+
+    def _apply_kill(self, event: FaultEvent):
+        """Permanent whole-server loss: a crash that never restarts.
+        Only the replication monitor can restore the replication factor."""
+        name = event.target
+        if (
+            name in self._down
+            or name not in self.cluster.datanodes
+            or name in self.cluster.released_nodes
+        ):
+            return False
+        self._down.add(name)
+        self.max_concurrent_down = max(self.max_concurrent_down, len(self._down))
+        self.cluster.fail_node(name)
+        self.violations.extend(
+            data_loss_violations(
+                self.cluster.namenode, self._down, when=self.cluster.env.now
+            )
+        )
+
+    def _apply_join(self, event: FaultEvent):
+        name = event.target
+        if name in self.cluster.datanodes:
+            return False
+        self.cluster.add_datanode(name)
+
+    def _apply_decommission(self, event: FaultEvent):
+        name = event.target
+        if (
+            name not in self.cluster.datanodes
+            or name in self._down
+            or name in self.cluster.released_nodes
+        ):
+            return False
+        done = self.cluster.decommission(name)
+        env = self.cluster.env
+        done.callbacks.append(
+            lambda _event: self.decommissions_completed.append((env.now, name))
+        )
 
     def _apply_master_fail(self, event: FaultEvent):
         master = self.cluster.ignem_master
@@ -144,6 +186,11 @@ class FaultInjector:
         master = self.cluster.ignem_master
         if master is not None:
             master.rpc_fault = None
+        monitor = self.cluster.replication_monitor
+        if monitor is not None:
+            # Repairs that exhausted their retries inside the loss window
+            # parked themselves; wake them now that messages flow again.
+            monitor.retry_stalled()
 
     # -- fault hooks -------------------------------------------------------------------
 

@@ -20,6 +20,12 @@ verifies that the system's correctness properties survived:
 5. **Memory-locality index equivalence.**  The push-maintained NameNode
    index equals a brute-force recomputation from the DataNode caches —
    node failures must leave no stale entries.
+6. **Replication restored.**  At end of run, no surviving block is left
+   under-replicated: every block with at least one live replica holds
+   ``min(replication, live_nodes)`` live replicas, and no holder appears
+   twice in a block's location list.  This is the invariant a permanent
+   node loss (crash with no restart) used to slip past — self-healing
+   re-replication is what upholds it.
 
 Violations are returned as human-readable strings; an empty list means
 the run upheld every guarantee.
@@ -62,6 +68,37 @@ def data_loss_violations(
     return violations
 
 
+def replication_violations(namenode: "NameNode", when: float) -> List[str]:
+    """Blocks left under-replicated (or double-listed) at ``when``.
+
+    The target is capped by the live-node count — a 3-node cluster with
+    one node down cannot hold 3 replicas of anything, and that is not
+    the repair machinery's fault.  Blocks with zero live replicas are
+    data loss, judged separately by :func:`data_loss_violations`.
+    """
+    violations: List[str] = []
+    live_nodes = len(namenode.live_datanodes())
+    for path in namenode.list_files():
+        metadata = namenode.get_file(path)
+        target = min(metadata.replication, live_nodes)
+        for block in metadata.blocks:
+            holders = namenode.block_replicas(block.block_id)
+            if len(holders) != len(set(holders)):
+                violations.append(
+                    f"replication: {block.block_id} ({path}) lists a "
+                    f"holder twice ({holders}) at t={when:.3f}"
+                )
+            live = namenode.get_block_locations(block.block_id)
+            if 0 < len(live) < target:
+                violations.append(
+                    f"under-replication: {block.block_id} ({path}) has "
+                    f"{len(live)} live replica(s) but needs {target} "
+                    f"(replication={metadata.replication}, "
+                    f"{live_nodes} live nodes) at t={when:.3f}"
+                )
+    return violations
+
+
 class InvariantChecker:
     """Checks the paper's guarantees against a finished cluster."""
 
@@ -86,6 +123,11 @@ class InvariantChecker:
         violations.extend(
             data_loss_violations(
                 self.cluster.namenode, down, when=self.cluster.env.now
+            )
+        )
+        violations.extend(
+            replication_violations(
+                self.cluster.namenode, when=self.cluster.env.now
             )
         )
         return violations

@@ -18,7 +18,13 @@ Fault taxonomy (see DESIGN.md, "Failure model & fault injection"):
   sequential bandwidth degrades to ``param`` of nominal for a window;
 * ``net_loss_start`` / ``net_loss_end`` — a window during which each
   network message is lost with probability ``param`` (and surviving
-  messages may pick up extra delay).
+  messages may pick up extra delay);
+* ``kill`` — permanent whole-server loss (a crash with no restart:
+  only self-healing re-replication can restore the replication factor);
+* ``join`` — a brand-new DataNode enters the cluster
+  (:meth:`~repro.cluster.Cluster.add_datanode`);
+* ``decommission`` — graceful drain-and-release of a node
+  (:meth:`~repro.cluster.Cluster.decommission`).
 """
 
 from __future__ import annotations
@@ -37,6 +43,9 @@ FAULT_KINDS = (
     "slow_disk_end",
     "net_loss_start",
     "net_loss_end",
+    "kill",
+    "join",
+    "decommission",
 )
 
 
@@ -100,6 +109,7 @@ class FaultSchedule:
         net_loss_prob: float = 0.5,
         min_downtime: float = 15.0,
         max_downtime: float = 60.0,
+        elasticity: bool = False,
     ) -> "FaultSchedule":
         """Draw a seed-deterministic schedule over ``[0, horizon]``.
 
@@ -108,6 +118,15 @@ class FaultSchedule:
         the paper's replication factor of 3 no block can lose all its
         replicas, and the cluster always returns to full strength (jobs
         can finish, and the data-loss invariant stays checkable).
+
+        ``elasticity=True`` additionally draws membership-change events —
+        ``join`` (usually), plus ``kill`` and ``decommission`` when the
+        crash draws left enough untouched nodes (each pick needs two
+        untouched candidates, so at least one original node survives the
+        whole schedule unharmed).  The elasticity draws happen strictly
+        *after* every classic draw, so for any seed the classic portion
+        of the schedule is byte-identical with the flag off (old corpora
+        stay canonical).
         """
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
@@ -123,7 +142,8 @@ class FaultSchedule:
         crashes = sum(
             1 for _ in range(max_node_crashes) if rng.uniform(0.0, 1.0) < crash_prob
         )
-        for victim in rng.sample(names, crashes):
+        crash_victims = rng.sample(names, crashes)
+        for victim in crash_victims:
             at = rng.uniform(0.05, 0.7) * horizon
             downtime = rng.uniform(min_downtime, max_downtime)
             events.append(FaultEvent(at, "crash", victim))
@@ -149,5 +169,31 @@ class FaultSchedule:
             loss = rng.uniform(0.05, 0.3)
             events.append(FaultEvent(at, "net_loss_start", None, loss))
             events.append(FaultEvent(at + duration, "net_loss_end"))
+
+        if elasticity:
+            # Every elasticity draw comes after the classic ones, so the
+            # classic portion of any seed's schedule never changes.
+            if rng.uniform(0.0, 1.0) < 0.75:
+                joined = f"node{len(names)}"
+                events.append(
+                    FaultEvent(rng.uniform(0.1, 0.5) * horizon, "join", joined)
+                )
+            # kill / decommission pick from nodes the crash draws left
+            # untouched; each pick needs two untouched candidates so the
+            # cluster always has somewhere to re-replicate to.
+            pool = [n for n in names if n not in crash_victims]
+            if len(pool) >= 2 and rng.uniform(0.0, 1.0) < 0.6:
+                victim = rng.choice(pool)
+                pool.remove(victim)
+                events.append(
+                    FaultEvent(rng.uniform(0.15, 0.6) * horizon, "kill", victim)
+                )
+            if len(pool) >= 2 and rng.uniform(0.0, 1.0) < 0.5:
+                drained = rng.choice(pool)
+                events.append(
+                    FaultEvent(
+                        rng.uniform(0.3, 0.8) * horizon, "decommission", drained
+                    )
+                )
 
         return cls(tuple(events), seed=seed)

@@ -195,6 +195,32 @@ class Observability:
                 job.obs = self
         if cluster.ignem_master is not None:
             self.attach_ignem(cluster.ignem_master, cluster.ignem_slaves)
+        if cluster.replication_monitor is not None:
+            cluster.replication_monitor.obs = self
+
+    def attach_datanode(self, cluster, name: str) -> None:
+        """Wire a freshly joined DataNode (cluster elasticity) with the
+        same storage instrumentation :meth:`attach` gave the originals.
+        No-op until the cluster has been attached."""
+        if self.tracer is None or not self._attached:
+            return
+        if self.tracer.enabled("storage"):
+            datanode = cluster.datanodes[name]
+            tiers = datanode.tiers
+            for tier in tiers:
+                if tier is tiers.bottom:
+                    label = "disk"
+                elif tier is tiers.top:
+                    label = "ram"
+                else:
+                    label = tier.spec.name
+                self._attach_device(tier.device, label, name)
+            for tier in tiers.upper:
+                suffix = "" if tier is tiers.top else f"-{tier.spec.name}"
+                self._attach_cache(tier.cache, name, suffix)
+            nic = cluster.network._nics.get(name)
+            if nic is not None:
+                self._attach_device(nic.device, "nic", name)
 
     def attach_ignem(self, master, slaves) -> None:
         """Wire the Ignem master (or HA pair) and slaves for tracing."""
@@ -448,6 +474,64 @@ class Observability:
                 lane=node,
                 args={"task": task_id, "job": job_id, "kind": kind},
             )
+
+    # -- self-healing replication hooks ------------------------------------------------
+
+    def on_repair_copy(
+        self,
+        block_id: str,
+        source: str,
+        targets,
+        nbytes: float,
+        start: float,
+        outcome: str,
+        reason: str,
+    ) -> None:
+        """ReplicationMonitor chain-copy hook: span per pipelined copy."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled("repair"):
+            return
+        tracer.complete(
+            "dfs.repair.copy",
+            "repair",
+            start,
+            lane="repair",
+            args={
+                "block": block_id,
+                "source": source,
+                "targets": ",".join(targets),
+                "bytes": round(nbytes),
+                "outcome": outcome,
+                "reason": reason,
+            },
+        )
+
+    def on_repair_drop(self, block_id: str, node: str, reason: str) -> None:
+        """Excess-thinning / rebalance-retirement hook."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled("repair"):
+            return
+        tracer.instant(
+            "dfs.repair.drop",
+            "repair",
+            lane="repair",
+            args={"block": block_id, "node": node, "reason": reason},
+        )
+
+    def on_repair_decommission(
+        self, node: str, start: float, blocks_moved: int
+    ) -> None:
+        """Decommission-drain hook: span from request to full drain."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled("repair"):
+            return
+        tracer.complete(
+            "dfs.repair.decommission",
+            "repair",
+            start,
+            lane="repair",
+            args={"node": node, "blocks_moved": blocks_moved},
+        )
 
     # -- Ignem hooks ------------------------------------------------------------------
 

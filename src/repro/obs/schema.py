@@ -34,6 +34,10 @@ KNOWN_EVENTS: Dict[str, str] = {
     "net.transfer": "net",
     # DFS
     "dfs.read": "dfs",
+    # self-healing replication (repair / thinning / decommission)
+    "dfs.repair.copy": "repair",
+    "dfs.repair.drop": "repair",
+    "dfs.repair.decommission": "repair",
     # Ignem master/slave
     "ignem.command.sent": "ignem",
     "ignem.command.retry": "ignem",

@@ -17,6 +17,36 @@ def test_corpus_is_not_empty():
     assert len(corpus_paths(CORPUS)) >= 2
 
 
+class TestKillDuringMigrationSeed:
+    """PR 7 self-healing replication: a node is killed permanently
+    while it holds the sole high-tier (migrated) replica of in-flight
+    blocks, then a fresh node joins.  The monitor must re-replicate
+    every lost replica — zero lost blocks, replication factor restored
+    — and each interrupted migration either completes elsewhere or is
+    cleanly abandoned (the ignem oracles judge that part)."""
+
+    def test_kill_is_repaired_and_join_restores_replication(self):
+        scenario = Scenario.load(CORPUS / "kill-during-migration.json")
+        assert [e.kind for e in scenario.faults] == ["kill", "join"]
+        result = run_scenario(scenario)
+        assert result.ok, result.format_violations()
+        assert result.stats["faults_applied"] == len(scenario.faults)
+        assert result.stats["nodes_joined"] == 1
+        # The kill lands mid-migration: not every started migration
+        # completes, and every replica the dead node held is copied
+        # back out (the replication oracle convicts any shortfall).
+        assert result.stats["migrations_completed"] >= 1
+        assert result.stats["repair_copies"] >= 1
+        assert result.stats["jobs_completed"] == len(scenario.jobs)
+
+    def test_replay_is_deterministic(self):
+        scenario = Scenario.load(CORPUS / "kill-during-migration.json")
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        assert first.stats == second.stats
+        assert first.violations == second.violations
+
+
 def test_every_corpus_scenario_replays_clean():
     runner = DstRunner(seed=0)
     report = runner.replay(corpus_paths(CORPUS))

@@ -102,6 +102,28 @@ class TestSabotage:
         }
         assert "buffer_cap" in failing
 
+    def test_disable_repair_convicted_by_replication_oracles(self):
+        # Elasticity draws guarantee permanent node losses appear in the
+        # fuzzed fault plans; with the monitor off, those losses leave
+        # blocks under-replicated forever.
+        report = DstRunner(
+            seed=0, sabotage="disable-repair", elasticity=True
+        ).fuzz(25, shrink=False)
+        assert not report.ok
+        failing = {
+            name
+            for result in report.failures
+            for name, _ in result.violations
+        }
+        assert failing & {"replication", "no_data_loss", "fault_invariants"}
+
+
+class TestElasticFuzz:
+    def test_elastic_sweep_with_repair_passes(self):
+        report = DstRunner(seed=3, elasticity=True).fuzz(6, shrink=False)
+        assert report.ok, report.format()
+        assert report.scenarios_run == 6
+
 
 class TestRunnerMetrics:
     def test_oracle_verdict_counters_feed_the_registry(self):

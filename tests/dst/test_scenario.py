@@ -170,3 +170,37 @@ class TestGenerator:
         fault_counts = [len(generator.generate(i).faults) for i in range(20)]
         assert any(n == 0 for n in fault_counts)
         assert any(n > 0 for n in fault_counts)
+
+
+class TestGeneratorElasticity:
+    def test_flag_off_is_byte_identical_to_the_old_generator(self):
+        # The corpus (and every historical fuzz seed) must stay canonical
+        # with elasticity left at its default.
+        for index in range(10):
+            old = ScenarioGenerator(seed=4).generate(index)
+            flagged = ScenarioGenerator(seed=4, elasticity=False).generate(
+                index
+            )
+            assert old.to_json() == flagged.to_json()
+
+    def test_flag_on_only_appends_membership_faults(self):
+        elastic_kinds = ("kill", "join", "decommission")
+        saw_elastic = False
+        for index in range(20):
+            classic = ScenarioGenerator(seed=4).generate(index)
+            elastic = ScenarioGenerator(seed=4, elasticity=True).generate(
+                index
+            )
+            kept = tuple(
+                e for e in elastic.faults if e.kind not in elastic_kinds
+            )
+            assert kept == classic.faults
+            saw_elastic = saw_elastic or len(elastic.faults) > len(
+                classic.faults
+            )
+        assert saw_elastic
+
+    def test_elastic_scenarios_are_deterministic(self):
+        first = ScenarioGenerator(seed=9, elasticity=True).generate(2)
+        second = ScenarioGenerator(seed=9, elasticity=True).generate(2)
+        assert first.to_json() == second.to_json()

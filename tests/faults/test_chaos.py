@@ -43,3 +43,36 @@ class TestChaosRuns:
     def test_runs_without_ha_pair(self):
         result = ChaosRunner(num_jobs=4, ha=False).run_seed(1)
         assert result.violations == []
+
+
+class TestElasticitySweeps:
+    def test_elasticity_seed_upholds_invariants(self):
+        # Seed 5 draws a decommission, a kill, AND a join: the full
+        # self-healing path runs under real workload + classic faults.
+        result = ChaosRunner(num_jobs=5, elasticity=True).run_seed(5)
+        assert result.violations == []
+        assert result.kills >= 1
+        assert result.joins >= 1
+        assert result.repair_copies >= 1
+
+    def test_elasticity_is_deterministic(self):
+        def run():
+            r = ChaosRunner(num_jobs=5, elasticity=True).run_seed(2)
+            return (
+                r.faults_applied,
+                r.kills,
+                r.joins,
+                r.decommissions,
+                r.repair_copies,
+                r.jobs_completed,
+                r.sim_time,
+                tuple(r.violations),
+            )
+
+        assert run() == run()
+
+    def test_flag_off_keeps_the_classic_sweep_identical(self):
+        classic = ChaosRunner(num_jobs=4).run_seed(3)
+        flagged = ChaosRunner(num_jobs=4, elasticity=False).run_seed(3)
+        assert classic == flagged
+        assert classic.kills == classic.joins == classic.decommissions == 0

@@ -1,0 +1,30 @@
+"""The `repro heal` demo: self-healing passes, the contrast mode fails."""
+
+import json
+
+from repro.faults.heal import format_heal_result, run_heal_demo
+
+
+class TestHealDemo:
+    def test_repair_on_ends_clean(self):
+        result = run_heal_demo(seed=0, num_jobs=6)
+        assert result.ok, result.violations
+        assert result.repair_copies > 0
+        assert result.decommissions_completed == 1
+        assert result.under_replicated == 0
+        assert result.missing_blocks == 0
+        report = format_heal_result(result)
+        assert "PASS" in report
+        json.dumps(result.to_dict())  # serializable for heal.json
+
+    def test_contrast_mode_is_convicted(self):
+        result = run_heal_demo(seed=0, num_jobs=6, disable_repair=True)
+        assert not result.ok
+        assert result.repair_copies == 0
+        assert any("under-replication" in v for v in result.violations)
+        assert "FAIL" in format_heal_result(result)
+
+    def test_demo_is_deterministic(self):
+        first = run_heal_demo(seed=1, num_jobs=6)
+        second = run_heal_demo(seed=1, num_jobs=6)
+        assert first.to_dict() == second.to_dict()

@@ -111,6 +111,75 @@ class TestNetLoss:
         assert cluster.ignem_master.rpc_fault is None
 
 
+class TestElasticityEvents:
+    def test_kill_is_a_crash_with_no_restart(self):
+        cluster = make_cluster(rereplication=True)
+        cluster.client.create_file("/f", 128 * MB)
+        schedule = FaultSchedule((FaultEvent(1.0, "kill", "node1"),))
+        injector = run_with(cluster, schedule)
+        assert [e.kind for _, e in injector.applied] == ["kill"]
+        assert not cluster.datanodes["node1"].alive
+        assert cluster.network.node_is_down("node1")
+        # Permanent loss: repair restored every block elsewhere.
+        assert cluster.replication_monitor.under_replicated_blocks() == []
+
+    def test_kill_of_a_down_node_is_swallowed(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule(
+            (
+                FaultEvent(1.0, "crash", "node1"),
+                FaultEvent(2.0, "kill", "node1"),
+            )
+        )
+        injector = run_with(cluster, schedule)
+        assert [e.kind for _, e in injector.applied] == ["crash"]
+
+    def test_join_adds_a_live_datanode(self):
+        cluster = make_cluster(rereplication=True)
+        schedule = FaultSchedule((FaultEvent(1.0, "join", "node4"),))
+        injector = run_with(cluster, schedule)
+        assert [e.kind for _, e in injector.applied] == ["join"]
+        assert "node4" in cluster.datanodes
+        assert "node4" in [
+            dn.name for dn in cluster.namenode.live_datanodes()
+        ]
+
+    def test_join_of_an_existing_name_is_swallowed(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule((FaultEvent(1.0, "join", "node0"),))
+        injector = run_with(cluster, schedule)
+        assert injector.applied == []
+
+    def test_decommission_drains_then_releases(self):
+        cluster = make_cluster(rereplication=True)
+        cluster.client.create_file("/f", 128 * MB)
+        schedule = FaultSchedule((FaultEvent(1.0, "decommission", "node2"),))
+        injector = run_with(cluster, schedule)
+        assert [e.kind for _, e in injector.applied] == ["decommission"]
+        assert [node for _, node in injector.decommissions_completed] == [
+            "node2"
+        ]
+        assert "node2" in cluster.released_nodes
+        for block in cluster.namenode.file_blocks("/f"):
+            live = cluster.namenode.get_block_locations(block.block_id)
+            assert len(live) == 2
+            assert "node2" not in live
+
+    def test_faults_against_a_released_node_are_swallowed(self):
+        cluster = make_cluster(rereplication=True)
+        cluster.client.create_file("/f", 64 * MB)
+        schedule = FaultSchedule(
+            (
+                FaultEvent(1.0, "decommission", "node2"),
+                FaultEvent(200.0, "crash", "node2"),
+                FaultEvent(201.0, "kill", "node2"),
+                FaultEvent(202.0, "restart", "node2"),
+            )
+        )
+        injector = run_with(cluster, schedule)
+        assert [e.kind for _, e in injector.applied] == ["decommission"]
+
+
 class TestDeterminism:
     def test_identical_runs_apply_identical_faults(self):
         def one_run():

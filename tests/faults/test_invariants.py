@@ -1,6 +1,10 @@
 """InvariantChecker: clean runs pass, corrupted state is flagged."""
 
-from repro.faults import InvariantChecker, data_loss_violations
+from repro.faults import (
+    InvariantChecker,
+    data_loss_violations,
+    replication_violations,
+)
 from repro.storage import GB, MB
 from tests.fixtures import make_ignem_cluster
 
@@ -79,3 +83,48 @@ class TestDataLoss:
         cluster.namenode._locations[block.block_id].clear()
         violations = data_loss_violations(cluster.namenode, {"node0"}, when=1.0)
         assert any(block.block_id in v for v in violations)
+
+
+class TestReplicationRestored:
+    """A crash with no restart used to slip past the checker: every
+    replica list kept >= 1 entry, so the data-loss invariant stayed
+    quiet while blocks sat permanently under-replicated."""
+
+    def test_permanent_loss_without_repair_is_convicted(self):
+        cluster = make_cluster()  # no re-replication monitor
+        cluster.client.create_file("/f", 128 * MB)
+        holder = cluster.namenode.get_block_locations(
+            cluster.namenode.file_blocks("/f")[0].block_id
+        )[0]
+        cluster.fail_node(holder)
+        cluster.run()
+        violations = InvariantChecker(cluster).check()
+        assert any("under-replication" in v for v in violations)
+
+    def test_self_healing_clears_the_conviction(self):
+        cluster = make_cluster(rereplication=True)
+        cluster.client.create_file("/f", 128 * MB)
+        holder = cluster.namenode.get_block_locations(
+            cluster.namenode.file_blocks("/f")[0].block_id
+        )[0]
+        cluster.fail_node(holder)
+        cluster.run()
+        assert InvariantChecker(cluster).check() == []
+
+    def test_duplicate_holder_is_convicted(self):
+        cluster = make_cluster()
+        cluster.client.create_file("/f", 64 * MB)
+        block = cluster.namenode.file_blocks("/f")[0]
+        holders = cluster.namenode._locations[block.block_id]
+        holders.append(holders[0])
+        violations = replication_violations(cluster.namenode, when=1.0)
+        assert any("twice" in v for v in violations)
+
+    def test_target_is_capped_by_live_nodes(self):
+        # Killing down to fewer nodes than the replication factor is not
+        # the repair machinery's fault: no conviction below the cap.
+        cluster = make_cluster(num_nodes=2, rereplication=True)
+        cluster.client.create_file("/f", 64 * MB)
+        cluster.fail_node("node1")
+        cluster.run()
+        assert replication_violations(cluster.namenode, when=1.0) == []

@@ -73,3 +73,61 @@ class TestFaultSchedule:
         assert schedule.is_empty
         assert len(schedule) == 0
         assert schedule.crashed_nodes() == []
+
+
+ELASTIC_KINDS = ("kill", "join", "decommission")
+
+
+class TestElasticity:
+    def test_flag_off_matches_the_old_draws_exactly(self):
+        for seed in range(10):
+            old = FaultSchedule.random(seed, NODES, horizon=300.0)
+            flagged = FaultSchedule.random(
+                seed, NODES, horizon=300.0, elasticity=False
+            )
+            assert old.events == flagged.events
+
+    def test_classic_draws_unchanged_under_the_flag(self):
+        # Elasticity draws happen after every classic draw, so the
+        # classic portion of any seed's schedule never moves.
+        for seed in range(10):
+            classic = FaultSchedule.random(seed, NODES, horizon=300.0)
+            elastic = FaultSchedule.random(
+                seed, NODES, horizon=300.0, elasticity=True
+            )
+            kept = tuple(
+                e for e in elastic if e.kind not in ELASTIC_KINDS
+            )
+            assert kept == classic.events
+
+    def test_some_seed_draws_every_elastic_kind(self):
+        kinds = set()
+        for seed in range(20):
+            schedule = FaultSchedule.random(
+                seed, NODES, horizon=300.0, elasticity=True
+            )
+            kinds |= {e.kind for e in schedule if e.kind in ELASTIC_KINDS}
+        assert kinds == set(ELASTIC_KINDS)
+
+    def test_kill_and_decommission_avoid_crashed_nodes(self):
+        for seed in range(20):
+            schedule = FaultSchedule.random(
+                seed, NODES, horizon=300.0, elasticity=True
+            )
+            crashed = set(schedule.crashed_nodes())
+            targets = [
+                e.target
+                for e in schedule
+                if e.kind in ("kill", "decommission")
+            ]
+            assert len(targets) == len(set(targets))
+            assert not crashed & set(targets)
+
+    def test_join_names_a_brand_new_node(self):
+        for seed in range(20):
+            schedule = FaultSchedule.random(
+                seed, NODES, horizon=300.0, elasticity=True
+            )
+            for event in schedule:
+                if event.kind == "join":
+                    assert event.target == f"node{len(NODES)}"

@@ -71,6 +71,67 @@ class TestZeroOverheadWhenDisabled:
         )
 
 
+class TestRepairTraceSpans:
+    def _repaired_cluster(self, tmp_path, label):
+        trace_path = tmp_path / f"{label}.jsonl"
+        cluster = build_paper_testbed(
+            seed=3,
+            observability=ObservabilityConfig(
+                enabled=True,
+                trace_path=str(trace_path),
+                categories=("repair",),
+            ),
+        )
+        cluster.enable_rereplication()
+        cluster.client.create_file("/f", 256 * MB)
+        victim = cluster.namenode.get_block_locations(
+            cluster.namenode.file_blocks("/f")[0].block_id
+        )[0]
+        cluster.fail_node(victim)
+        cluster.decommission(
+            next(n for n in cluster.node_names() if n != victim)
+        )
+        cluster.run()  # dumps the trace to trace_path on return
+        return cluster, trace_path
+
+    def test_repair_copies_and_decommission_emit_spans(self, tmp_path):
+        cluster, path = self._repaired_cluster(tmp_path, "repair")
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        copies = [
+            e
+            for e in events
+            if e.get("name") == "dfs.repair.copy" and e.get("ph") == "X"
+        ]
+        assert len(copies) == cluster.replication_monitor.copies_completed
+        assert all(e["args"]["outcome"] == "completed" for e in copies)
+        assert {e["args"]["reason"] for e in copies} == {
+            "repair",
+            "decommission",
+        }
+        decommissions = [
+            e for e in events if e.get("name") == "dfs.repair.decommission"
+        ]
+        assert len(decommissions) == 1
+
+    def test_repair_trace_validates_against_schema(self, tmp_path):
+        _, path = self._repaired_cluster(tmp_path, "schema")
+        assert validate_trace(path) == []
+
+    def test_repair_metrics_mirror_monitor_counters(self, tmp_path):
+        cluster, _ = self._repaired_cluster(tmp_path, "metrics")
+        monitor = cluster.replication_monitor
+        registry = cluster.metrics
+        assert (
+            registry.counter("dfs.repair.copies_completed").value
+            == monitor.copies_completed
+        )
+        assert (
+            registry.counter("dfs.repair.decommissions_completed").value == 1
+        )
+        pulls = registry.snapshot()["pulls"]
+        assert pulls["dfs.repair.under_replicated_blocks"] == 0
+
+
 class _DropFirst:
     def __init__(self, n):
         self.remaining = n
