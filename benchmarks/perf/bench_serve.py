@@ -1,0 +1,194 @@
+"""Wall-clock benchmark for the interactive serving workload.
+
+Measures ``run_serve`` end to end (cluster build, catalog load, the
+full 1200-request replay, and — for the ``heat`` policy — the
+popularity migrator's tick loop) at the default experiment shape, once
+per policy, and writes the result to
+``benchmarks/perf/BENCH_serve.json``.  The simulated p99 per policy is
+recorded alongside the wall time so the file doubles as a perf *and*
+quality snapshot.
+
+Methodology matches ``bench_scale.py``: every measurement runs in a
+fresh subprocess, the best of N back-to-back repetitions within a
+subprocess is kept (minimum is the least-noise estimator for a
+deterministic CPU-bound workload), and a baseline git ref — when one
+that contains the workload exists — is interleaved round-by-round.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py
+    PYTHONPATH=src python benchmarks/perf/bench_serve.py \
+        --requests 400 --rounds 5 --reps 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent / "BENCH_serve.json"
+
+POLICIES = ("none", "hint", "heat")
+
+_SNIPPET = r"""
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.workloads.serve import ServeConfig, run_serve
+config = ServeConfig(policy={policy!r}, num_requests={requests}, seed={seed})
+best = float("inf")
+p99 = 0.0
+for _ in range({reps}):
+    t0 = time.perf_counter()
+    result = run_serve(config)
+    best = min(best, time.perf_counter() - t0)
+    p99 = result.p99
+print(best, p99)
+"""
+
+
+def measure_once(
+    tree: pathlib.Path, policy: str, requests: int, seed: int, reps: int
+):
+    """Best-of-``reps`` wall seconds (and simulated p99) in one subprocess."""
+    code = _SNIPPET.format(
+        src=str(tree / "src"),
+        policy=policy,
+        requests=requests,
+        seed=seed,
+        reps=reps,
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, check=True
+    )
+    seconds, p99 = out.stdout.split()
+    return float(seconds), float(p99)
+
+
+def checkout_baseline(ref: str) -> pathlib.Path:
+    tree = pathlib.Path(tempfile.mkdtemp(prefix="bench-baseline-"))
+    subprocess.run(
+        ["git", "worktree", "add", "--detach", "--force", str(tree), ref],
+        cwd=REPO_ROOT,
+        check=True,
+        capture_output=True,
+    )
+    return tree
+
+
+def remove_baseline(tree: pathlib.Path) -> None:
+    subprocess.run(
+        ["git", "worktree", "remove", "--force", str(tree)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+    )
+    shutil.rmtree(tree, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=1200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--reps", type=int, default=1)
+    parser.add_argument(
+        "--baseline-ref",
+        default=None,
+        help=(
+            "git ref to measure against, interleaved round-by-round "
+            "(the ref must already contain repro.workloads.serve)"
+        ),
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.rounds < 1 or args.reps < 1:
+        parser.error("--rounds and --reps must be >= 1")
+
+    baseline_tree = None
+    if args.baseline_ref:
+        try:
+            baseline_tree = checkout_baseline(args.baseline_ref)
+        except subprocess.CalledProcessError as error:
+            stderr = (error.stderr or b"").decode(errors="replace").strip()
+            parser.error(
+                f"cannot check out baseline ref {args.baseline_ref!r}: {stderr}"
+            )
+
+    current_rounds: dict = {policy: [] for policy in POLICIES}
+    baseline_rounds: dict = {policy: [] for policy in POLICIES}
+    p99s: dict = {}
+    try:
+        for round_index in range(args.rounds):
+            for policy in POLICIES:
+                if baseline_tree is not None:
+                    seconds, _ = measure_once(
+                        baseline_tree, policy, args.requests, args.seed, args.reps
+                    )
+                    baseline_rounds[policy].append(seconds)
+                seconds, p99 = measure_once(
+                    REPO_ROOT, policy, args.requests, args.seed, args.reps
+                )
+                current_rounds[policy].append(seconds)
+                p99s[policy] = p99
+            line = "  ".join(
+                f"{policy} {current_rounds[policy][-1]:.1f}s"
+                for policy in POLICIES
+            )
+            print(f"round {round_index}: {line}", flush=True)
+    finally:
+        if baseline_tree is not None:
+            remove_baseline(baseline_tree)
+
+    result = {
+        "workload": (
+            f"run_serve(ServeConfig(policy=<each>, "
+            f"num_requests={args.requests}, seed={args.seed}))"
+        ),
+        "methodology": (
+            "fresh subprocess per (round, policy); best of "
+            f"{args.reps} back-to-back repetitions per round; "
+            f"{args.rounds} rounds"
+            + (", interleaved with the baseline tree" if args.baseline_ref else "")
+        ),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "measured_at": time.strftime("%Y-%m-%d"),
+        "current": {
+            policy: {
+                "rounds_seconds": [
+                    round(s, 3) for s in current_rounds[policy]
+                ],
+                "best_seconds": round(min(current_rounds[policy]), 3),
+                "sim_p99_seconds": round(p99s[policy], 4),
+            }
+            for policy in POLICIES
+        },
+    }
+    if args.baseline_ref and any(baseline_rounds.values()):
+        baseline = {"ref": args.baseline_ref}
+        for policy in POLICIES:
+            baseline[policy] = {
+                "rounds_seconds": [
+                    round(s, 3) for s in baseline_rounds[policy]
+                ],
+                "best_seconds": round(min(baseline_rounds[policy]), 3),
+            }
+        result["baseline"] = baseline
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,9 +11,16 @@ per-heartbeat cache polling or the event queue loses its packed keys.
 import time
 
 from repro.experiments.swim_runs import clear_cache, run_swim
+from repro.workloads.serve import ServeConfig, run_serve
 
 #: Generous wall-clock budget (seconds) for one 200-job Ignem SWIM run.
 SMOKE_CEILING_SECONDS = 1.5
+
+#: Budget for the 1200-request heat-policy serve run (~0.09s on a 2026
+#: dev box; see ``BENCH_serve.json``).  The heat path adds a read
+#: listener on every NameNode read and a migrator tick loop — this
+#: ceiling fails CI if either becomes a per-event hot spot.
+SERVE_CEILING_SECONDS = 1.0
 
 
 def test_swim_200_jobs_within_wall_clock_budget():
@@ -29,4 +36,18 @@ def test_swim_200_jobs_within_wall_clock_budget():
     assert best < SMOKE_CEILING_SECONDS, (
         f"200-job SWIM run took {best:.2f}s (budget {SMOKE_CEILING_SECONDS}s); "
         "see benchmarks/perf/bench_swim.py to measure properly"
+    )
+
+
+def test_serve_1200_requests_within_wall_clock_budget():
+    config = ServeConfig(policy="heat", seed=0)
+    best = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        run_serve(config)
+        best = min(best, time.perf_counter() - start)
+    assert best < SERVE_CEILING_SECONDS, (
+        f"1200-request serve run took {best:.2f}s (budget "
+        f"{SERVE_CEILING_SECONDS}s); see benchmarks/perf/bench_serve.py "
+        "to measure properly"
     )

@@ -21,21 +21,22 @@ Quickstart::
 Traced run (observability is off by default; enabling it never changes
 simulation outcomes)::
 
-    from repro import TraceReader, build_paper_testbed, JobSpec
+    from repro import RunOptions, TraceReader, build_paper_testbed, JobSpec
 
     cluster = build_paper_testbed(ignem=True)
     cluster.client.create_file("/data/logs", 640 * MB)
     cluster.engine.submit_job(JobSpec("grep", ("/data/logs",)))
-    cluster.run(trace="run.jsonl", metrics="metrics.json")
+    cluster.run(options=RunOptions(trace="run.jsonl", metrics="metrics.json"))
     print(cluster.metrics.value("ignem.slave.migrations_completed"))
     TraceReader.load("run.jsonl").to_chrome("run.chrome.json")
 """
 
-from .cluster import Cluster, ClusterConfig, build_paper_testbed
-from .core import IgnemConfig, IgnemMaster, IgnemSlave
+from .cluster import Cluster, ClusterConfig, RunOptions, build_paper_testbed
+from .core import HeatConfig, HeatEstimator, IgnemConfig, IgnemMaster, IgnemSlave
 from .mapreduce import EngineConfig, JobSpec, MapReduceEngine
 from .metrics import MetricsCollector
 from .obs import MetricsRegistry, ObservabilityConfig, TraceReader
+from .workloads import ServeConfig, workload_registry
 
 __version__ = "1.0.0"
 
@@ -43,6 +44,8 @@ __all__ = [
     "Cluster",
     "ClusterConfig",
     "EngineConfig",
+    "HeatConfig",
+    "HeatEstimator",
     "IgnemConfig",
     "IgnemMaster",
     "IgnemSlave",
@@ -51,7 +54,10 @@ __all__ = [
     "MetricsCollector",
     "MetricsRegistry",
     "ObservabilityConfig",
+    "RunOptions",
+    "ServeConfig",
     "TraceReader",
     "build_paper_testbed",
+    "workload_registry",
     "__version__",
 ]

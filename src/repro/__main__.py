@@ -10,6 +10,7 @@ Usage::
     python -m repro profile --mode ignem --num-jobs 200 --top 30
     python -m repro profile --workload scale --nodes 1000 --jobs 10000
     python -m repro scale --nodes 10000 --jobs 100000
+    python -m repro serve --policy heat --requests 1200
     python -m repro chaos --seeds 10 --elasticity
     python -m repro dst --runs 25 --seed 0
     python -m repro dst --replay tests/dst/corpus
@@ -19,6 +20,12 @@ Every subcommand shares the ``--out``/``--seed`` pair (one parent
 parser), and observability is exposed uniformly: ``--trace`` /
 ``--metrics-out`` on ``run``/``all``, and the dedicated ``trace``
 subcommand for a schema-validated traced run of the SWIM workload.
+
+Workload subcommands (``scale``, ``serve``) are *generated* from the
+workload registry (:mod:`repro.workloads.base`): each registered
+``cli=True`` workload contributes one subparser whose flags come from
+its params dataclass metadata.  ``repro list`` shows both experiments
+and workloads.
 """
 
 from __future__ import annotations
@@ -28,6 +35,13 @@ import sys
 from typing import List, Optional
 
 from .experiments.report import available_experiments, run_experiments
+from .workloads import (
+    add_workload_arguments,
+    cli_workloads,
+    get_workload,
+    params_from_args,
+    workload_registry,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,8 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--workload",
         default="swim",
-        choices=("swim", "scale"),
-        help="what to profile: the SWIM run or the trace-scale replay",
+        choices=("swim", "scale", "serve"),
+        help=(
+            "what to profile: the SWIM run, the trace-scale replay, or "
+            "the interactive serving replay"
+        ),
     )
     profile.add_argument(
         "--mode", default="ignem", choices=("hdfs", "ignem", "ram")
@@ -145,43 +162,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=10_000,
         help="trace rows for --workload scale",
     )
-
-    scale = sub.add_parser(
-        "scale",
-        parents=[common],
-        help="replay a Google-trace-shaped workload at cluster scale",
-        description=(
-            "Drive synthetic Google-trace rows through a full simulated "
-            "cluster: one input file, migrate call, read wave, and evict "
-            "call per job (see repro.workloads.scale).  Writes scale.json "
-            "and scale.txt under --out and prints the replay summary.  "
-            "The default shape (10k nodes, 100k jobs) is the kernel's "
-            "headline stress run; it finishes in minutes on one core."
-        ),
-    )
-    scale.add_argument(
-        "--nodes", type=int, default=10_000, help="cluster size"
-    )
-    scale.add_argument(
-        "--jobs", type=int, default=100_000, help="trace rows to replay"
-    )
-    scale.add_argument(
-        "--interarrival",
-        type=float,
-        default=0.5,
-        help="mean job interarrival (seconds)",
-    )
-    scale.add_argument(
-        "--max-blocks",
+    profile.add_argument(
+        "--requests",
         type=int,
-        default=64,
-        help="cap on blocks per job input file (bounds the lognormal tail)",
+        default=1200,
+        help="requests for --workload serve",
     )
-    scale.add_argument(
-        "--no-ignem",
-        action="store_true",
-        help="replay the plain-HDFS baseline (no migrate/evict calls)",
-    )
+
+    # Workload subcommands are generated from the registry: one
+    # subparser per cli=True workload, flags from its params dataclass.
+    for workload_cls in cli_workloads():
+        workload_parser = sub.add_parser(
+            workload_cls.name,
+            parents=[common],
+            help=workload_cls.summary,
+            description=workload_cls.epilog,
+        )
+        add_workload_arguments(workload_parser, workload_cls.Params)
 
     chaos = sub.add_parser(
         "chaos",
@@ -259,6 +256,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="generate kill/join/decommission faults in fuzzed scenarios",
     )
     dst.add_argument(
+        "--interactive",
+        action="store_true",
+        help=(
+            "mix interactive serve traffic (Zipfian reads, heat-driven "
+            "migration) into fuzzed scenarios"
+        ),
+    )
+    dst.add_argument(
         "--no-shrink",
         action="store_true",
         help="keep the first failing scenario as-is",
@@ -317,6 +322,19 @@ def run_profile(args) -> int:
         pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
         return 0
 
+    if args.workload == "serve":
+        from .workloads.serve import ServeConfig, run_serve
+
+        serve_config = ServeConfig(
+            num_requests=args.requests, seed=args.seed
+        )
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_serve(serve_config)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
+        return 0
+
     from .experiments.swim_runs import clear_cache, run_swim
 
     # Warm run first: imports and one-time allocations would otherwise
@@ -333,36 +351,29 @@ def run_profile(args) -> int:
     return 0
 
 
-def run_scale(args) -> int:
+def run_workload_command(args) -> int:
+    """Generic driver for registry-generated workload subcommands: run,
+    write ``<name>.json``/``<name>.txt`` under ``--out``, print the
+    report."""
     import json
     from pathlib import Path
 
-    from .workloads.scale import (
-        ScaleConfig,
-        format_scale_result,
-        run_scale_replay,
-    )
-
-    config = ScaleConfig(
-        num_nodes=args.nodes,
-        num_jobs=args.jobs,
-        seed=args.seed,
-        mean_interarrival=args.interarrival,
-        max_blocks_per_job=args.max_blocks,
-        ignem=not args.no_ignem,
-    )
-    result = run_scale_replay(config)
-    report = format_scale_result(result)
+    workload_cls = get_workload(args.command)
+    params = params_from_args(workload_cls.Params, args)
+    workload = workload_cls(params)
+    result = workload.run()
+    report = workload.format_result(result)
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    (out_dir / "scale.json").write_text(
-        json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+    (out_dir / f"{workload.name}.json").write_text(
+        json.dumps(workload.result_payload(result), indent=2, sort_keys=True)
+        + "\n"
     )
-    (out_dir / "scale.txt").write_text(report + "\n")
+    (out_dir / f"{workload.name}.txt").write_text(report + "\n")
     print(report)
-    print(f"\nresults written to {args.out}/scale.json")
-    return 0
+    print(f"\nresults written to {args.out}/{workload.name}.json")
+    return workload.exit_code(result)
 
 
 def run_chaos(args) -> int:
@@ -389,6 +400,7 @@ def run_dst(args) -> int:
         seed=args.seed,
         sabotage=args.sabotage,
         elasticity=args.elasticity,
+        interactive=args.interactive,
     )
     if args.replay:
         paths = []
@@ -465,13 +477,19 @@ def run_trace(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
+        print("experiments:")
         for name in available_experiments():
-            print(name)
+            print(f"  {name}")
+        print("\nworkloads:")
+        for name, workload_cls in workload_registry().items():
+            marker = "*" if workload_cls.cli else " "
+            print(f"  {name:<14}{marker} {workload_cls.summary}")
+        print("\n(* = has its own subcommand: python -m repro <workload>)")
         return 0
     if args.command == "profile":
         return run_profile(args)
-    if args.command == "scale":
-        return run_scale(args)
+    if args.command in {cls.name for cls in cli_workloads()}:
+        return run_workload_command(args)
     if args.command == "chaos":
         return run_chaos(args)
     if args.command == "trace":

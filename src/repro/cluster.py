@@ -10,6 +10,7 @@ any size — in one call, and exposes the three evaluation configurations:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -88,6 +89,25 @@ class ClusterConfig:
         return tier_preset(name)
 
 
+@dataclass(frozen=True)
+class RunOptions:
+    """Optional outputs of one :meth:`Cluster.run` call.
+
+    Collapses the run kwargs that accreted across PRs into one value
+    (the PR 3 -> 5 counter-view playbook): pass
+    ``cluster.run(options=RunOptions(trace=..., metrics=...))`` instead
+    of the individual keyword arguments.
+
+    * ``trace`` — activate tracing (if not already on) and write the
+      JSONL trace to this path when the run returns;
+    * ``metrics`` — write the metrics-registry snapshot to this path
+      when the run returns (works without tracing).
+    """
+
+    trace: Optional[str] = None
+    metrics: Optional[str] = None
+
+
 class Cluster:
     """A fully wired simulated big-data cluster."""
 
@@ -144,6 +164,8 @@ class Cluster:
         self.ignem_slaves: Dict[str, IgnemSlave] = {}
         self.replication_monitor: Optional[ReplicationMonitor] = None
         self._ignem_config: Optional[IgnemConfig] = None
+        #: Hint-free popularity-driven policy (``enable_heat_migration``).
+        self.heat_migrator = None
         #: Nodes released by a completed decommission: their entry stays
         #: in :attr:`datanodes` (counters/devices remain inspectable) but
         #: they are gone from the namespace, network, and scheduler.
@@ -279,6 +301,40 @@ class Cluster:
         if self.obs.active:
             self.obs.attach_ignem(master, self.ignem_slaves)
         return master
+
+    def enable_heat_migration(self, config=None):
+        """Attach the hint-free popularity-driven migration policy.
+
+        Requires Ignem (:meth:`enable_ignem` first): promotions flow
+        through the ordinary master/slave machinery under a synthetic
+        owner job.  The policy observes every client block read via the
+        NameNode's read-event hook, promotes blocks whose decayed heat
+        crosses the threshold, and demotes them when they cool.  Pass a
+        :class:`~repro.core.heat.HeatConfig` to tune it.
+        """
+        if self.ignem_master is None:
+            raise RuntimeError(
+                "enable_ignem() before enable_heat_migration()"
+            )
+        if self.heat_migrator is not None:
+            raise RuntimeError(
+                "heat migration is already enabled on this cluster"
+            )
+        from .core.heat import PopularityMigrator
+
+        migrator = PopularityMigrator(
+            self.env,
+            self.ignem_master,
+            self.namenode,
+            self.rm,
+            config=config,
+            registry=self.obs.registry,
+            default_tier=self._ignem_config.migration_tier,
+        )
+        self.heat_migrator = migrator
+        self.namenode.subscribe_reads(migrator.on_read)
+        migrator.start()
+        return migrator
 
     def enable_rereplication(
         self, max_concurrent_per_source: int = 2, config=None
@@ -453,33 +509,64 @@ class Cluster:
 
     # -- convenience -------------------------------------------------------------------
 
-    def run(self, until=None, trace=None, metrics=None):
+    def run(
+        self,
+        until=None,
+        options: Optional[RunOptions] = None,
+        trace=None,
+        metrics=None,
+    ):
         """Advance the simulation (see :meth:`Environment.run`).
 
         Observability extensions (all optional; plain ``run()`` is the
-        untouched clean path):
+        untouched clean path) live in :class:`RunOptions`:
 
-        * ``trace="path.jsonl"`` — activate tracing (if not already on
-          via :class:`~repro.obs.ObservabilityConfig`) and write the
-          JSONL trace there when this run returns;
-        * ``metrics="path.json"`` — write the metrics-registry snapshot
-          there when this run returns (works without tracing too).
+        * ``RunOptions(trace="path.jsonl")`` — activate tracing (if not
+          already on via :class:`~repro.obs.ObservabilityConfig`) and
+          write the JSONL trace there when this run returns;
+        * ``RunOptions(metrics="path.json")`` — write the
+          metrics-registry snapshot there when this run returns (works
+          without tracing too).
 
-        With ``ObservabilityConfig(enabled=True, trace_path=...,
+        The pre-RunOptions ``trace=``/``metrics=`` keyword arguments
+        keep working but are deprecated (one release of warning, the
+        same playbook the PR 3 counter views followed).  With
+        ``ObservabilityConfig(enabled=True, trace_path=...,
         metrics_path=...)`` the same outputs are produced without
         per-call arguments.
         """
+        if trace is not None or metrics is not None:
+            if options is not None:
+                raise TypeError(
+                    "pass either options=RunOptions(...) or the deprecated "
+                    "trace=/metrics= kwargs, not both"
+                )
+            warnings.warn(
+                "cluster.run(trace=..., metrics=...) is deprecated; use "
+                "cluster.run(options=RunOptions(trace=..., metrics=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            options = RunOptions(trace=trace, metrics=metrics)
+        elif options is None:
+            options = RunOptions()
         obs = self.obs
         obs_cfg = self.config.observability
-        if trace is not None and not obs.active:
+        if options.trace is not None and not obs.active:
             obs.activate()
         if obs.active:
             obs.attach(self)
         result = self.env.run(until=until)
-        trace_path = trace if trace is not None else obs_cfg.trace_path
+        trace_path = (
+            options.trace if options.trace is not None else obs_cfg.trace_path
+        )
         if obs.active and trace_path is not None:
             obs.tracer.dump(trace_path)
-        metrics_path = metrics if metrics is not None else obs_cfg.metrics_path
+        metrics_path = (
+            options.metrics
+            if options.metrics is not None
+            else obs_cfg.metrics_path
+        )
         if metrics_path is not None:
             obs.registry.write(metrics_path)
         return result

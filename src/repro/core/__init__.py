@@ -8,6 +8,13 @@ job first, guarded by reference lists and the Do-not-harm rule.
 from .commands import EvictCommand, MigrateCommand, MigrationWorkItem
 from .config import IgnemConfig
 from .ha import HighAvailabilityMaster
+from .heat import (
+    HeatConfig,
+    HeatEstimator,
+    PopularityMigrator,
+    PromotionCandidate,
+    plan_promotions,
+)
 from .master import IgnemMaster
 from .policy import (
     BenefitAware,
@@ -24,6 +31,8 @@ __all__ = [
     "BenefitAware",
     "EvictCommand",
     "FifoOrder",
+    "HeatConfig",
+    "HeatEstimator",
     "HighAvailabilityMaster",
     "IgnemConfig",
     "IgnemMaster",
@@ -31,8 +40,11 @@ __all__ = [
     "MigrateCommand",
     "MigrationPolicy",
     "MigrationWorkItem",
+    "PopularityMigrator",
+    "PromotionCandidate",
     "SmallestJobFirst",
     "available_policies",
     "make_policy",
+    "plan_promotions",
     "register",
 ]

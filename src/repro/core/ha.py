@@ -118,6 +118,16 @@ class HighAvailabilityMaster:
     def request_eviction(self, paths: Sequence[str], job_id: str) -> None:
         self.active.request_eviction(paths, job_id)
 
+    def request_block_migration(
+        self, blocks, owner: str, dst_tier: Optional[str] = None
+    ) -> None:
+        self.active.request_block_migration(blocks, owner, dst_tier=dst_tier)
+
+    def request_block_eviction(
+        self, block_ids: Sequence[str], owner: str
+    ) -> None:
+        self.active.request_block_eviction(block_ids, owner)
+
     # -- fault-injection plumbing ---------------------------------------------------
 
     @property
@@ -140,6 +150,18 @@ class HighAvailabilityMaster:
     def command_tap(self, tap) -> None:
         self.primary.command_tap = tap
         self.standby.command_tap = tap
+
+    @property
+    def failure_tap(self):
+        """Slave-state-loss tap; mirroring it onto both masters means a
+        crash observed by either one releases the migration target (the
+        discard is idempotent, so the double fire is harmless)."""
+        return self.primary.failure_tap
+
+    @failure_tap.setter
+    def failure_tap(self, tap) -> None:
+        self.primary.failure_tap = tap
+        self.standby.failure_tap = tap
 
     def handle_slave_failure(self, node: str) -> None:
         """Prune the crashed slave's routing state from both masters."""

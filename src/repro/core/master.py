@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..dfs.blocks import Block
 from ..dfs.namenode import NameNode
 from ..metrics.collector import MetricsCollector
 from ..obs.registry import MetricsRegistry
@@ -61,6 +62,12 @@ class IgnemMaster:
         #: slave's synchronous state change (reference-list update, queue
         #: insert) has just happened.  ``None`` is the clean path.
         self.command_tap: Optional[Callable] = None
+        #: Slave-state-loss tap (set by the DST differential checker):
+        #: called as ``tap(node)`` whenever the master forgets a slave's
+        #: routing state (crash, decommission, cold-restart purge) — the
+        #: boundary where a later duplicate migrate may legitimately pick
+        #: a fresh replica.  ``None`` is the clean path.
+        self.failure_tap: Optional[Callable] = None
         #: Observability facade; ``None`` is the zero-overhead clean path.
         self.obs = None
 
@@ -73,6 +80,12 @@ class IgnemMaster:
         )
         self._c_eviction_requests = metrics.counter(
             "ignem.master.eviction_requests"
+        )
+        self._c_promotion_requests = metrics.counter(
+            "ignem.master.promotion_requests"
+        )
+        self._c_demotion_requests = metrics.counter(
+            "ignem.master.demotion_requests"
         )
         self._c_sent = metrics.counter("ignem.master.commands_sent")
         self._c_retries = metrics.counter("ignem.master.command_retries")
@@ -164,6 +177,91 @@ class IgnemMaster:
         for node, items in batches.items():
             self._send(node, "migrate", MigrateCommand(job_id, tuple(items)))
 
+    def request_block_migration(
+        self,
+        blocks: Sequence["Block"],
+        owner: str,
+        dst_tier: Optional[str] = None,
+    ) -> None:
+        """Hint-free promotion path: migrate specific blocks for ``owner``.
+
+        Unlike :meth:`request_migration` this is not tied to a job's
+        submission hint — the popularity-driven policy names individual
+        hot blocks directly and owns their references under a pseudo job
+        id (``owner``).  Replica choice, eviction routing, retry/reroute,
+        and the command tap are all shared with the hint path, so the
+        differential model and fault machinery see ordinary commands.
+        """
+        if not self.alive:
+            return
+        if dst_tier is None:
+            dst_tier = self.config.migration_tier
+        elif dst_tier not in self.config.destination_tiers():
+            raise ValueError(
+                f"{dst_tier!r} is not a configured migration destination "
+                f"(destinations: {', '.join(self.config.destination_tiers())})"
+            )
+        self._c_promotion_requests.inc()
+        submitted_at = self.env.now
+        namenode = self.namenode
+        slaves = self._slaves
+        assignments = self._assignments
+        # The promotion wave is priced like one small job: policies that
+        # favor small inputs treat a batch of hot blocks as a unit.
+        total_bytes = sum(block.nbytes for block in blocks)
+
+        batches: Dict[str, List[MigrationWorkItem]] = {}
+        order_hint = 0
+        for block in blocks:
+            if not namenode.is_block(block.block_id):
+                continue  # the file was deleted since the heat sample
+            locations = namenode.get_block_locations(block.block_id)
+            usable = [node for node in locations if node in slaves]
+            if not usable:
+                continue
+            key = (owner, block.block_id)
+            previous = [
+                node for node in assignments.get(key, ()) if node in usable
+            ]
+            if previous:
+                chosen_nodes = previous
+            else:
+                count = min(self.config.replicas_to_migrate, len(usable))
+                chosen_nodes = self.rng.sample(sorted(usable), count)
+            assignments[key] = tuple(chosen_nodes)
+            for chosen in chosen_nodes:
+                batches.setdefault(chosen, []).append(
+                    MigrationWorkItem(
+                        block=block,
+                        job_id=owner,
+                        job_input_bytes=total_bytes,
+                        job_submitted_at=submitted_at,
+                        implicit_eviction=False,
+                        order_hint=order_hint,
+                        dst_tier=dst_tier,
+                    )
+                )
+            order_hint += 1
+
+        for node, items in batches.items():
+            self._send(node, "migrate", MigrateCommand(owner, tuple(items)))
+
+    def request_block_eviction(
+        self, block_ids: Sequence[str], owner: str
+    ) -> None:
+        """Demote specific blocks promoted under ``owner`` (cooled heat)."""
+        if not self.alive:
+            return
+        self._c_demotion_requests.inc()
+        batches: Dict[str, List[str]] = {}
+        for block_id in block_ids:
+            nodes = self._assignments.pop((owner, block_id), ())
+            for node in nodes:
+                if node in self._slaves:
+                    batches.setdefault(node, []).append(block_id)
+        for node, ids in batches.items():
+            self._send(node, "evict", EvictCommand(owner, tuple(ids)))
+
     def request_eviction(self, paths: Sequence[str], job_id: str) -> None:
         """Handle a job submitter's evict call (job completed)."""
         if not self.alive:
@@ -192,14 +290,18 @@ class IgnemMaster:
         """A replacement master starts with empty state; slaves purge
         their reference lists to stay consistent with it (III-A5)."""
         self.alive = True
-        for slave in self._slaves.values():
+        for name, slave in self._slaves.items():
             slave.purge_all(reason="failure")
+            if self.failure_tap is not None:
+                self.failure_tap(name)
 
     def handle_slave_failure(self, node: str) -> None:
         """Forget routing state for a crashed slave: its queue and
         reference lists died with the process, so eviction commands must
         not target it and a duplicate migrate call may pick a fresh
         replica (crash-safe migration-queue abandonment)."""
+        if self.failure_tap is not None:
+            self.failure_tap(node)
         stale = [
             (key, nodes)
             for key, nodes in self._assignments.items()

@@ -100,6 +100,7 @@ class DFSClient:
         reader_node: str,
         job_id: Optional[str] = None,
         avoid: Sequence[str] = (),
+        tenant: Optional[str] = None,
     ) -> ClientRead:
         """Read one block from the best replica.
 
@@ -112,8 +113,14 @@ class DFSClient:
 
         ``avoid`` de-prioritizes replicas on the named nodes (used by
         speculative task attempts to dodge a straggling server); they are
-        still used when no alternative exists.
+        still used when no alternative exists.  ``tenant`` labels the
+        access for the NameNode's read-event listeners (the heat
+        estimator's per-tenant attribution); it defaults to ``job_id``.
         """
+        if self.namenode.read_listeners:
+            self.namenode.publish_read(
+                block, tenant if tenant is not None else job_id
+            )
         locations = self.namenode.get_block_locations(block.block_id)
         if not locations:
             raise NameNodeError(f"no live replicas for {block.block_id}")

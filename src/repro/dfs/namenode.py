@@ -7,7 +7,7 @@ and tracks node liveness.  The Ignem master is hosted inside this process
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from ..sim.rand import RandomSource
 from ..storage.tiers import MEM
@@ -58,6 +58,11 @@ class NameNode:
         #: the scheduler's fast path subscribes to this exact object via
         #: ``add_listener`` (see :mod:`repro.dfs.memory_index`).
         self.locality_index = self.tier_index.tier(MEM)
+        #: Read-event listeners, called as ``listener(block, tenant)`` on
+        #: every client block read (the heat estimator's feed).  The list
+        #: is public so the client can skip the publish call entirely
+        #: when nobody subscribed — the zero-overhead clean path.
+        self.read_listeners: List[Callable[[Block, Optional[str]], None]] = []
 
     # -- cluster membership ----------------------------------------------------
 
@@ -129,6 +134,32 @@ class NameNode:
         """Every registered holder, live or not (unlike
         :meth:`get_block_locations` which filters dead nodes)."""
         return list(self._locations.get(block_id, ()))
+
+    # -- read events -----------------------------------------------------------
+
+    def subscribe_reads(
+        self, listener: Callable[[Block, Optional[str]], None]
+    ) -> None:
+        """Register a read-event listener (``listener(block, tenant)``).
+
+        Listeners observe every block read issued through a
+        :class:`~repro.dfs.client.DFSClient` — the access stream the
+        popularity-driven migration policy estimates heat from.  With no
+        listeners the read path never calls into here.
+        """
+        if listener not in self.read_listeners:
+            self.read_listeners.append(listener)
+
+    def unsubscribe_reads(
+        self, listener: Callable[[Block, Optional[str]], None]
+    ) -> None:
+        if listener in self.read_listeners:
+            self.read_listeners.remove(listener)
+
+    def publish_read(self, block: Block, tenant: Optional[str]) -> None:
+        """Fan one read event out to every subscribed listener."""
+        for listener in self.read_listeners:
+            listener(block, tenant)
 
     def _on_residency_delta(self, node: str, tier: str, key, resident: bool) -> None:
         """Fold one DataNode tier-residency delta into the tier index.

@@ -21,11 +21,12 @@ from .harness import (
     apply_sabotage,
     build_cluster,
     run_scenario,
+    serve_requests,
 )
 from .model import DifferentialChecker, reference_priority
 from .oracles import ALL_ORACLES, OracleContext, OracleReport, run_oracles
 from .runner import DstReport, DstRunner, corpus_paths
-from .scenario import Scenario, ScenarioGenerator, ScenarioJob
+from .scenario import Scenario, ScenarioGenerator, ScenarioJob, ServeTraffic
 from .shrinker import shrink_scenario
 
 __all__ = [
@@ -40,11 +41,13 @@ __all__ = [
     "ScenarioGenerator",
     "ScenarioJob",
     "ScenarioResult",
+    "ServeTraffic",
     "apply_sabotage",
     "build_cluster",
     "corpus_paths",
     "reference_priority",
     "run_oracles",
     "run_scenario",
+    "serve_requests",
     "shrink_scenario",
 ]

@@ -21,11 +21,18 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cluster import Cluster, ClusterConfig
 from ..core.config import IgnemConfig
+from ..core.heat import HeatConfig
 from ..core.policy import make_policy
+from ..dfs.datanode import DataNodeError
+from ..dfs.namenode import NameNodeError
 from ..faults.injector import FaultInjector
 from ..mapreduce.spec import EngineConfig, JobSpec
+from ..net.network import NetworkError
 from ..obs import ObservabilityConfig
+from ..sim.events import join_all
+from ..sim.rand import RandomSource, derive_seed
 from ..storage.device import MB
+from ..workloads.serve import ZipfSampler
 from .model import DifferentialChecker
 from .oracles import OracleContext, OracleReport, run_oracles
 from .scenario import Scenario
@@ -98,9 +105,23 @@ def build_cluster(scenario: Scenario) -> Tuple[Cluster, DifferentialChecker]:
 
     checker = DifferentialChecker(scenario.policy, replicas_to_migrate=1)
     cluster.ignem_master.command_tap = checker.on_delivery
+    cluster.ignem_master.failure_tap = checker.on_slave_failure
 
     for path, nbytes in sorted(scenario.input_files().items()):
         cluster.client.create_file(path, nbytes)
+    if scenario.serve is not None:
+        for index in range(scenario.serve.num_objects):
+            cluster.client.create_file(
+                _serve_object_path(index), scenario.serve.object_bytes
+            )
+        if scenario.serve.heat:
+            cluster.enable_heat_migration(
+                HeatConfig(
+                    half_life=20.0,
+                    tick_interval=2.0,
+                    tenant_tick_bytes=scenario.serve.tenant_tick_bytes,
+                )
+            )
     return cluster, checker
 
 
@@ -161,6 +182,79 @@ def scenario_specs(scenario: Scenario) -> Tuple[List[JobSpec], List[float]]:
     return specs, arrivals
 
 
+def _serve_object_path(index: int) -> str:
+    return f"/dst/serve/obj-{index:02d}"
+
+
+def serve_requests(
+    scenario: Scenario,
+) -> List[Tuple[float, str, str, str]]:
+    """Deterministic (arrival, path, tenant, reader) interactive stream.
+
+    A pure function of the scenario (child seed ``dst-serve``), so
+    replays and shrink candidates see the identical request trace.
+    """
+    serve = scenario.serve
+    if serve is None:
+        return []
+    rng = RandomSource(derive_seed(scenario.seed, "dst-serve")).spawn(
+        "serve"
+    )
+    zipf = ZipfSampler(serve.num_objects, serve.zipf_s)
+    horizon = max(job.arrival for job in scenario.jobs) + 30.0
+    mean_gap = horizon / serve.num_requests
+    requests = []
+    arrival = 0.0
+    for _ in range(serve.num_requests):
+        arrival += rng.expovariate(1.0 / mean_gap)
+        path = _serve_object_path(zipf.sample(rng.uniform(0.0, 1.0)))
+        tenant = f"tenant{rng.randint(0, serve.num_tenants - 1)}"
+        reader = f"node{rng.randint(0, scenario.num_nodes - 1)}"
+        requests.append((arrival, path, tenant, reader))
+    return requests
+
+
+def _serve_read(cluster, arrival, path, tenant, reader, stats):
+    """One interactive request: read every block of ``path``.
+
+    Faults may legitimately kill the read (no live replica, serving
+    node down): availability is not under test here, migration safety
+    is — failed reads are counted, not raised.
+    """
+    yield arrival
+    try:
+        metadata = cluster.namenode.get_file(path)
+        reads = [
+            cluster.client.read_block(
+                block, reader, job_id="dst-serve", tenant=tenant
+            )
+            for block in metadata.blocks
+        ]
+        yield join_all(cluster.env, [read.done for read in reads])
+    except (NameNodeError, DataNodeError, NetworkError):
+        stats["serve_failed"] += 1
+        return
+    stats["serve_completed"] += 1
+
+
+def _start_serve_traffic(
+    cluster: Cluster, scenario: Scenario, stats: Dict[str, float]
+) -> None:
+    requests = serve_requests(scenario)
+    stats["serve_requests"] = len(requests)
+    stats["serve_completed"] = 0
+    stats["serve_failed"] = 0
+    arrivals = cluster.env.timeout_batch(
+        [arrival for arrival, _path, _tenant, _reader in requests]
+    )
+    for index, (event, request) in enumerate(zip(arrivals, requests)):
+        _arrival, path, tenant, reader = request
+        cluster.env.process(
+            _serve_read(cluster, event, path, tenant, reader, stats),
+            name=f"dst-serve-{index:03d}",
+        )
+
+
 def _fault_timelines(
     injector: FaultInjector, cluster: Cluster, ha: bool
 ) -> Tuple[List[Tuple[float, str]], Dict[str, List[Tuple[float, float]]]]:
@@ -207,6 +301,10 @@ def run_scenario(
     injector = FaultInjector(cluster, scenario.fault_schedule())
     injector.start()
 
+    stats: Dict[str, float] = {}
+    if scenario.serve is not None:
+        _start_serve_traffic(cluster, scenario, stats)
+
     specs, arrivals = scenario_specs(scenario)
     cluster.engine.run_workload(
         specs, arrivals, implicit_eviction=scenario.implicit_eviction
@@ -214,6 +312,13 @@ def run_scenario(
     # Full drain (no `until`): every retry, re-replication copy, restart,
     # and straggling migration settles before judgment.
     cluster.run()
+
+    # The heat policy holds promoted blocks for as long as they are hot;
+    # retire it (evict everything it owns) and drain those evictions
+    # before judging end-state invariants.
+    if cluster.heat_migrator is not None:
+        cluster.heat_migrator.shutdown()
+        cluster.run()
 
     # Forced liveness sweep (III-A4), as the chaos runner does: settle
     # references the periodic sweeps have not reclaimed yet.
@@ -250,7 +355,15 @@ def run_scenario(
 
     jobs = cluster.engine.jobs
     registry = cluster.metrics
-    stats = {
+    if cluster.heat_migrator is not None:
+        stats["heat_promotions"] = registry.counter(
+            "heat.policy.promotions"
+        ).value
+        stats["heat_demotions"] = registry.counter(
+            "heat.policy.demotions"
+        ).value
+        stats["heat_ticks"] = registry.counter("heat.policy.ticks").value
+    stats.update({
         "jobs_total": len(jobs),
         "jobs_completed": sum(
             1 for job in jobs if job.finished_at is not None
@@ -277,7 +390,7 @@ def run_scenario(
         ),
         "trace_events": len(trace_events),
         "sim_time": cluster.env.now,
-    }
+    })
     return ScenarioResult(
         scenario=scenario,
         violations=violations,

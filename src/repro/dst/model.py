@@ -154,9 +154,26 @@ class DifferentialChecker:
                         f"{block_id}) accepted but the job still holds a "
                         f"reference"
                     )
+                # The one-replica rule bounds *live* migrated replicas:
+                # an accepted evict releases the target, so a later
+                # re-migration (the heat policy demotes and re-promotes
+                # the same block as popularity swings) may pick a
+                # different node without tripping the bound.
+                self._targets.get(
+                    (command.job_id, block_id), set()
+                ).discard(node)
             self.evict_deliveries.append(
                 (now, node, command.job_id, tuple(command.block_ids))
             )
+
+    def on_slave_failure(self, node: str) -> None:
+        """Master ``failure_tap``: the slave's migrated replicas and
+        queue died with its process (or were purged to match a cold
+        master restart), so the node stops counting toward the
+        one-replica bound — crash-safe migration-queue abandonment means
+        the next migrate for the same block may pick a fresh replica."""
+        for targets in self._targets.values():
+            targets.discard(node)
 
     # -- post-run: trace replay ---------------------------------------------------
 

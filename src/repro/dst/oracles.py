@@ -340,6 +340,31 @@ def oracle_no_data_loss(ctx: OracleContext) -> List[str]:
     return violations
 
 
+def oracle_tenant_fairness(ctx: OracleContext) -> List[str]:
+    """The heat policy's per-tenant promotion cap holds on every tick.
+
+    Judged against the *scenario's* declared ``tenant_tick_bytes`` (not
+    the live config) from the migrator's fairness audit log: no tick may
+    grant a single tenant more promotion bytes than the cap.
+    """
+    serve = ctx.scenario.serve
+    migrator = getattr(ctx.cluster, "heat_migrator", None)
+    if serve is None or not serve.heat or migrator is None:
+        return []
+    cap = serve.tenant_tick_bytes
+    violations = []
+    for entry in migrator.fairness_log:
+        for tenant in sorted(entry["granted"]):
+            granted = entry["granted"][tenant]
+            if granted > cap + _BYTE_TOLERANCE:
+                violations.append(
+                    f"tick {entry['tick']} (t={entry['time']:.3f}): "
+                    f"tenant {tenant!r} granted {granted:.0f} promotion "
+                    f"bytes above the declared per-tick cap {cap:.0f}"
+                )
+    return violations
+
+
 #: Registry: (name, fn) in evaluation order.
 ALL_ORACLES = (
     ("differential", oracle_differential),
@@ -351,6 +376,7 @@ ALL_ORACLES = (
     ("fault_invariants", oracle_fault_invariants),
     ("replication", oracle_replication),
     ("no_data_loss", oracle_no_data_loss),
+    ("tenant_fairness", oracle_tenant_fairness),
 )
 
 

@@ -74,12 +74,16 @@ class DstRunner:
         sabotage: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
         elasticity: bool = False,
+        interactive: bool = False,
     ):
         self.seed = seed
         self.sabotage = sabotage
         self.registry = registry or MetricsRegistry()
         #: Generate kill/join/decommission faults in fuzzed scenarios.
         self.elasticity = elasticity
+        #: Mix interactive serve traffic (+ heat policy) into fuzzed
+        #: scenarios.
+        self.interactive = interactive
 
     def _judge(self, scenario: Scenario) -> ScenarioResult:
         result = run_scenario(scenario, sabotage=self.sabotage)
@@ -97,7 +101,11 @@ class DstRunner:
         """Judge up to ``runs`` generated scenarios; stop at the first
         failure, minimize it, and (optionally) serialize the result."""
         report = DstReport(mode="fuzz", seed=self.seed)
-        generator = ScenarioGenerator(self.seed, elasticity=self.elasticity)
+        generator = ScenarioGenerator(
+            self.seed,
+            elasticity=self.elasticity,
+            interactive=self.interactive,
+        )
         for index in range(runs):
             scenario = generator.generate(index)
             result = self._judge(scenario)

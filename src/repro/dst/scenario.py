@@ -88,6 +88,56 @@ class ScenarioJob:
 
 
 @dataclass(frozen=True)
+class ServeTraffic:
+    """Interactive read traffic mixed into a scenario's batch workload.
+
+    A seeded Zipfian request stream over a small set of shared objects,
+    optionally with the hint-free popularity-driven migrator enabled —
+    the serving regime of :mod:`repro.workloads.serve`, scaled down to
+    DST size.  ``tenant_tick_bytes`` is part of the *declared*
+    expectation: the tenant-fairness oracle convicts any tick that
+    grants one tenant more promotion bytes than this cap.
+    """
+
+    num_requests: int
+    num_objects: int = 6
+    object_bytes: float = 32 * MB
+    num_tenants: int = 2
+    zipf_s: float = 1.1
+    heat: bool = True
+    tenant_tick_bytes: float = 256 * MB
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.num_objects < 1:
+            raise ValueError("num_objects must be >= 1")
+        if self.object_bytes <= 0:
+            raise ValueError("object_bytes must be positive")
+        if self.num_tenants < 1:
+            raise ValueError("num_tenants must be >= 1")
+        if self.zipf_s <= 0:
+            raise ValueError("zipf_s must be positive")
+        if self.tenant_tick_bytes <= 0:
+            raise ValueError("tenant_tick_bytes must be positive")
+
+    def to_dict(self) -> Dict:
+        return {
+            "num_requests": self.num_requests,
+            "num_objects": self.num_objects,
+            "object_bytes": self.object_bytes,
+            "num_tenants": self.num_tenants,
+            "zipf_s": self.zipf_s,
+            "heat": self.heat,
+            "tenant_tick_bytes": self.tenant_tick_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ServeTraffic":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One complete DST input: cluster × workload × faults."""
 
@@ -112,6 +162,10 @@ class Scenario:
     #: Destination tier migrations land in (and the tier the declared
     #: ``buffer_capacity`` caps).  Serialized only when not ``"mem"``.
     migration_tier: str = "mem"
+    #: Interactive read traffic alongside the batch jobs; ``None`` keeps
+    #: the classic batch-only run.  Serialized only when set, so the
+    #: pre-serving corpus stays byte-canonical.
+    serve: Optional[ServeTraffic] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -167,6 +221,13 @@ class Scenario:
             text += f" tiers={self.tier_preset}"
         if self.migration_tier != "mem":
             text += f" dst={self.migration_tier}"
+        if self.serve is not None:
+            text += (
+                f" serve={self.serve.num_requests}req/"
+                f"{self.serve.num_objects}obj"
+            )
+            if self.serve.heat:
+                text += "+heat"
         return text
 
     # -- serialization -------------------------------------------------------------
@@ -202,6 +263,8 @@ class Scenario:
             data["tier_preset"] = self.tier_preset
         if self.migration_tier != "mem":
             data["migration_tier"] = self.migration_tier
+        if self.serve is not None:
+            data["serve"] = self.serve.to_dict()
         return data
 
     def to_json(self) -> str:
@@ -230,6 +293,11 @@ class Scenario:
             do_not_harm=data.get("do_not_harm", True),
             tier_preset=data.get("tier_preset"),
             migration_tier=data.get("migration_tier", "mem"),
+            serve=(
+                ServeTraffic.from_dict(data["serve"])
+                if "serve" in data
+                else None
+            ),
             jobs=tuple(ScenarioJob.from_dict(job) for job in data["jobs"]),
             faults=tuple(
                 FaultEvent(
@@ -265,12 +333,21 @@ class ScenarioGenerator:
     never perturbs earlier scenarios.
     """
 
-    def __init__(self, seed: int = 0, elasticity: bool = False):
+    def __init__(
+        self,
+        seed: int = 0,
+        elasticity: bool = False,
+        interactive: bool = False,
+    ):
         self.seed = int(seed)
         #: Draw kill/join/decommission events into fault plans.  Off by
         #: default: elasticity draws append to (never reorder) the
         #: classic stream, so old corpus scenarios stay byte-identical.
         self.elasticity = bool(elasticity)
+        #: Mix interactive serve traffic (and usually the heat migrator)
+        #: into generated scenarios.  Off by default for the same
+        #: reason: serve draws come strictly after every classic draw.
+        self.interactive = bool(interactive)
 
     def generate(self, index: int = 0) -> Scenario:
         scenario_seed = derive_seed(self.seed, f"dst-scenario-{index}")
@@ -291,6 +368,7 @@ class ScenarioGenerator:
 
         jobs = self._sample_jobs(rng)
         faults = self._sample_faults(rng, scenario_seed, num_nodes, jobs)
+        serve = self._sample_serve(rng) if self.interactive else None
 
         return Scenario(
             seed=scenario_seed,
@@ -304,9 +382,25 @@ class ScenarioGenerator:
             implicit_eviction=implicit_eviction,
             jobs=tuple(jobs),
             faults=faults,
+            serve=serve,
         )
 
     # -- workload mix -------------------------------------------------------------
+
+    def _sample_serve(self, rng: RandomSource) -> Optional[ServeTraffic]:
+        """Interactive traffic draws, strictly after every classic draw
+        (so ``interactive=False`` reproduces the classic scenarios)."""
+        if rng.uniform(0, 1) < 0.3:
+            return None  # batch-only runs stay in the mix
+        return ServeTraffic(
+            num_requests=rng.randint(15, 60),
+            num_objects=rng.randint(3, 10),
+            object_bytes=rng.choice([16 * MB, 32 * MB, 64 * MB]),
+            num_tenants=rng.randint(1, 3),
+            zipf_s=rng.uniform(0.8, 1.5),
+            heat=rng.uniform(0, 1) < 0.75,
+            tenant_tick_bytes=self._log_uniform(rng, 64 * MB, 512 * MB),
+        )
 
     def _sample_jobs(self, rng: RandomSource) -> List[ScenarioJob]:
         num_jobs = rng.randint(2, 8)

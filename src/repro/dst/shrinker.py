@@ -62,8 +62,19 @@ def _without_ha(scenario: Scenario) -> Optional[Scenario]:
     return dataclasses.replace(scenario, ha=False)
 
 
+def _without_serve(scenario: Scenario) -> Optional[Scenario]:
+    if scenario.serve is None:
+        return None
+    return dataclasses.replace(scenario, serve=None)
+
+
 def _candidates(scenario: Scenario) -> Iterator[Scenario]:
     """Structurally smaller variants, most-aggressive-first per axis."""
+    # Interactive traffic first: it is a whole subsystem, so a failure
+    # that survives without it shrinks fastest by dropping it whole.
+    candidate = _without_serve(scenario)
+    if candidate is not None:
+        yield candidate
     # Jobs, newest first: late arrivals are most often incidental.
     for index in range(len(scenario.jobs) - 1, -1, -1):
         candidate = _without_job(scenario, index)
@@ -81,9 +92,10 @@ def _candidates(scenario: Scenario) -> Iterator[Scenario]:
         yield candidate
 
 
-def _size(scenario: Scenario) -> Tuple[int, int, int, int]:
+def _size(scenario: Scenario) -> Tuple[int, int, int, int, int]:
     """Shrink-order metric; every candidate strictly reduces it."""
     return (
+        int(scenario.serve is not None),
         len(scenario.jobs),
         len(scenario.faults),
         scenario.num_nodes,
@@ -134,6 +146,8 @@ def describe_shrink(original: Scenario, shrunk: Scenario) -> str:
     ):
         if before != after:
             parts.append(f"{label} {before}->{after}")
+    if original.serve is not None and shrunk.serve is None:
+        parts.append("serve dropped")
     if original.ha and not shrunk.ha:
         parts.append("ha dropped")
     return ", ".join(parts) if parts else "already minimal"

@@ -291,6 +291,18 @@ def _run_tier3(out_dir: pathlib.Path, seed: int) -> str:
     return study.format()
 
 
+def _run_serve(out_dir: pathlib.Path, seed: int) -> str:
+    from .serve_slo import serve_slo_study
+
+    study = serve_slo_study(seed=seed)
+    payload = {
+        policy: result.to_dict() for policy, result in study.results.items()
+    }
+    payload["heat_beats_none"] = study.heat_beats_none()
+    _write(out_dir, "serve", study.format(), payload)
+    return study.format()
+
+
 EXPERIMENTS: Dict[str, Callable[[pathlib.Path, int], str]] = {
     "fig1": _run_fig1_fig2,
     "fig2": _run_fig1_fig2,
@@ -306,6 +318,7 @@ EXPERIMENTS: Dict[str, Callable[[pathlib.Path, int], str]] = {
     "fig8": _run_fig8,
     "fig9": _run_fig9,
     "tier3": _run_tier3,
+    "serve": _run_serve,
 }
 
 

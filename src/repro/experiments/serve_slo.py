@@ -1,0 +1,76 @@
+"""The serving-SLO experiment: three migration policies, one stream.
+
+Replays the identical seeded request stream (Zipfian popularity,
+diurnal load, one flash crowd, three tenants) under ``none`` (plain
+HDFS), ``hint`` (oracle Ignem pin of the hottest objects), and ``heat``
+(hint-free popularity-driven migration), and compares read-latency
+percentiles.  The paper's batch experiments measure job duration; this
+is the same Ignem machinery measured the way a serving cluster is: by
+p99.
+
+The headline check — popularity-driven migration beats no-migration on
+p99 — is exposed as :meth:`ServeStudy.heat_beats_none`, asserted by the
+test suite and visible in the golden report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..workloads.serve import ServeConfig, ServeResult, run_serve
+
+POLICIES: Tuple[str, ...] = ("none", "hint", "heat")
+
+
+@dataclass
+class ServeStudy:
+    """Per-policy results of one serving comparison."""
+
+    results: Dict[str, ServeResult]
+
+    def heat_beats_none(self) -> bool:
+        """The headline claim: learned migration improves tail latency."""
+        return self.results["heat"].p99 < self.results["none"].p99
+
+    def p99_speedup(self, policy: str) -> float:
+        """How many times lower ``policy``'s p99 is than no-migration."""
+        baseline = self.results["none"].p99
+        p99 = self.results[policy].p99
+        return baseline / p99 if p99 > 0 else float("inf")
+
+    def format(self) -> str:
+        lines = [
+            "Serving SLO — read latency by migration policy",
+            "==============================================",
+            f"{'policy':<8} {'p50':>9} {'p99':>9} {'p999':>9} "
+            f"{'mean':>9} {'ram%':>6} {'migrated':>9}",
+        ]
+        for policy in POLICIES:
+            result = self.results[policy]
+            lines.append(
+                f"{policy:<8} "
+                f"{result.p50 * 1000:>7.0f}ms "
+                f"{result.p99 * 1000:>7.0f}ms "
+                f"{result.p999 * 1000:>7.0f}ms "
+                f"{result.mean * 1000:>7.0f}ms "
+                f"{100 * result.ram_share:>5.1f} "
+                f"{result.migrated_bytes / 2**30:>7.2f}GB"
+            )
+        heat = self.results["heat"]
+        lines.append(
+            f"popularity-driven migration: p99 {self.p99_speedup('heat'):.1f}x "
+            f"lower than no-migration "
+            f"({heat.promotions} blocks promoted, {heat.demotions} demoted, "
+            f"no hints given)"
+        )
+        return "\n".join(lines)
+
+
+def serve_slo_study(seed: int = 0) -> ServeStudy:
+    """Run the three-policy comparison on the default serving shape."""
+    results = {
+        policy: run_serve(ServeConfig(policy=policy, seed=seed))
+        for policy in POLICIES
+    }
+    return ServeStudy(results=results)

@@ -131,6 +131,32 @@ class Histogram:
             raise ValueError(f"histogram {self.name} has no observations")
         return self.total / self.count
 
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the bucket counts.
+
+        Linear interpolation inside the target bucket (the Prometheus
+        ``histogram_quantile`` estimator), clamped to the observed
+        min/max so tiny samples do not report a bucket boundary the run
+        never reached.  The overflow bucket reports the observed max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name} has no observations")
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index == len(self.bounds):
+                    return self.max
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                within = rank - (cumulative - bucket_count)
+                estimate = lower + (upper - lower) * within / bucket_count
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
     def snapshot(self) -> Dict:
         return {
             "count": self.count,

@@ -1,6 +1,17 @@
-"""Workload generators: SWIM trace, sort, wordcount, and the synthetic
-Google cluster trace used by the Section II feasibility analyses."""
+"""Workload generators: SWIM trace, sort, wordcount, the synthetic
+Google cluster trace, the trace-scale replay, and the interactive
+serving workload — all registered behind one :class:`Workload` protocol
+(see :mod:`repro.workloads.base`)."""
 
+from .base import (
+    Workload,
+    add_workload_arguments,
+    cli_workloads,
+    get_workload,
+    params_from_args,
+    register_workload,
+    workload_registry,
+)
 from .google_trace import GoogleTraceGenerator, GoogleTraceJob, TaskUsageInterval
 from .scale import (
     ScaleConfig,
@@ -8,6 +19,16 @@ from .scale import (
     build_scale_cluster,
     format_scale_result,
     run_scale_replay,
+)
+from .serve import (
+    ServeConfig,
+    ServeRequest,
+    ServeResult,
+    ZipfSampler,
+    diurnal_rate,
+    format_serve_result,
+    generate_requests,
+    run_serve,
 )
 from .sort import SORT_INPUT_BYTES, SORT_INPUT_PATH, make_sort_spec
 from .swim import SwimGenerator, SwimJob, size_bin, to_specs
@@ -19,6 +40,10 @@ from .trace_io import (
 )
 from .wordcount import DEFAULT_SIZES_GB, make_wordcount_spec, wordcount_path
 
+# Importing the adapters registers every workload family; keep this
+# after the symbol imports above (the adapters import from them).
+from . import adapters  # noqa: E402,F401
+
 __all__ = [
     "DEFAULT_SIZES_GB",
     "GoogleTraceGenerator",
@@ -27,19 +52,32 @@ __all__ = [
     "SORT_INPUT_PATH",
     "ScaleConfig",
     "ScaleResult",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeResult",
     "SwimGenerator",
     "SwimJob",
     "TaskUsageInterval",
+    "Workload",
+    "ZipfSampler",
+    "add_workload_arguments",
     "build_scale_cluster",
+    "cli_workloads",
+    "diurnal_rate",
     "format_scale_result",
+    "format_serve_result",
+    "generate_requests",
+    "get_workload",
     "load_google_jobs",
     "load_swim_trace",
     "make_sort_spec",
     "make_wordcount_spec",
+    "params_from_args",
+    "register_workload",
     "run_scale_replay",
-    "save_google_jobs",
-    "save_swim_trace",
+    "run_serve",
     "size_bin",
     "to_specs",
     "wordcount_path",
+    "workload_registry",
 ]

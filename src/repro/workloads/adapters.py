@@ -1,0 +1,254 @@
+"""Registry adapters: every workload family as a :class:`Workload`.
+
+The batch families (SWIM, sort, wordcount, Google-trace) predate the
+unified protocol; their adapters wrap the experiment-layer entry points
+lazily (imported inside ``run()`` so the workloads package never drags
+the experiments package in at import time).  ``scale`` and ``serve``
+are native: their params dataclasses carry CLI metadata and their
+subcommands are generated from the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .base import Workload, cli_metadata, register_workload
+from .scale import ScaleConfig
+from .serve import ServeConfig
+
+
+@register_workload
+class ServeWorkload(Workload):
+    name = "serve"
+    summary = "interactive request serving with latency SLOs"
+    Params = ServeConfig
+    cli = True
+    epilog = (
+        "Replay a seeded multi-tenant request stream (Zipfian object "
+        "popularity, diurnal load, optional flash crowds) against the "
+        "cluster under --policy none (plain HDFS), hint (oracle Ignem "
+        "pin), or heat (hint-free popularity-driven migration).  Writes "
+        "serve.json and serve.txt under --out and prints the SLO "
+        "summary (p50/p99/p999 read latency)."
+    )
+
+    def build(self, cluster=None, rng=None):
+        from ..cluster import Cluster, ClusterConfig
+        from .serve import object_path
+
+        params = self.params
+        if cluster is None:
+            cluster = Cluster(
+                ClusterConfig(
+                    num_nodes=params.num_nodes,
+                    replication=min(params.replication, params.num_nodes),
+                    seed=params.seed,
+                )
+            )
+        for index in range(params.num_objects):
+            cluster.client.create_file(
+                object_path(index), params.object_bytes
+            )
+        return cluster
+
+    def run(self):
+        from .serve import run_serve
+
+        return run_serve(self.params)
+
+    def format_result(self, result) -> str:
+        from .serve import format_serve_result
+
+        return format_serve_result(result)
+
+
+@register_workload
+class ScaleWorkload(Workload):
+    name = "scale"
+    summary = "replay a Google-trace-shaped workload at cluster scale"
+    Params = ScaleConfig
+    cli = True
+    epilog = (
+        "Drive synthetic Google-trace rows through a full simulated "
+        "cluster: one input file, migrate call, read wave, and evict "
+        "call per job (see repro.workloads.scale).  Writes scale.json "
+        "and scale.txt under --out and prints the replay summary.  "
+        "The default shape (10k nodes, 100k jobs) is the kernel's "
+        "headline stress run; it finishes in minutes on one core."
+    )
+
+    def build(self, cluster=None, rng=None):
+        from .scale import build_scale_cluster
+
+        if cluster is not None:
+            raise ValueError("scale builds its own cluster")
+        return build_scale_cluster(self.params)
+
+    def run(self):
+        from .scale import run_scale_replay
+
+        return run_scale_replay(self.params)
+
+    def format_result(self, result) -> str:
+        from .scale import format_scale_result
+
+        return format_scale_result(result)
+
+
+@dataclass(frozen=True)
+class SwimParams:
+    """Knobs of one SWIM run (the paper's Section IV-B workload)."""
+
+    mode: str = field(
+        default="ignem",
+        metadata=cli_metadata(choices=("hdfs", "ignem", "ram")),
+    )
+    num_jobs: int = 200
+    seed: int = 0
+
+
+@register_workload
+class SwimWorkload(Workload):
+    name = "swim"
+    summary = "synthetic Facebook SWIM trace (200 batch jobs, 170GB)"
+    Params = SwimParams
+
+    def build(self, cluster=None, rng=None):
+        from ..experiments.swim_runs import prepare_swim_cluster
+
+        prepared, _jobs, _specs, _arrivals = prepare_swim_cluster(
+            self.params.mode,
+            seed=self.params.seed,
+            num_jobs=self.params.num_jobs,
+        )
+        return prepared
+
+    def run(self):
+        from ..experiments.swim_runs import run_swim
+
+        return run_swim(
+            self.params.mode,
+            seed=self.params.seed,
+            num_jobs=self.params.num_jobs,
+        )
+
+    def format_result(self, result) -> str:
+        mean = result.collector.mean_job_duration()
+        return (
+            f"swim [{result.mode}]: {self.params.num_jobs} jobs, "
+            f"mean duration {mean:.1f}s"
+        )
+
+    def result_payload(self, result) -> Dict[str, object]:
+        return {
+            "mode": result.mode,
+            "num_jobs": self.params.num_jobs,
+            "mean_job_duration": result.collector.mean_job_duration(),
+        }
+
+
+@dataclass(frozen=True)
+class SortParams:
+    """The standalone 40GB sort job (paper Table III)."""
+
+    mode: str = field(
+        default="ignem",
+        metadata=cli_metadata(choices=("hdfs", "ignem", "ram")),
+    )
+    seed: int = 0
+
+
+@register_workload
+class SortWorkload(Workload):
+    name = "sort"
+    summary = "standalone 40GB sort job (paper Table III)"
+    Params = SortParams
+
+    def run(self):
+        from ..experiments.table3_sort import run_sort_once
+
+        return run_sort_once(self.params.mode, seed=self.params.seed)
+
+    def format_result(self, result) -> str:
+        return f"sort [{self.params.mode}]: {result:.1f}s"
+
+    def result_payload(self, result) -> Dict[str, object]:
+        return {"mode": self.params.mode, "duration": result}
+
+
+@dataclass(frozen=True)
+class WordcountParams:
+    """The wordcount size sweep of paper Fig 8."""
+
+    mode: str = field(
+        default="ignem",
+        metadata=cli_metadata(choices=("hdfs", "ignem", "ignem+10s", "ram")),
+    )
+    seed: int = 0
+
+
+@register_workload
+class WordcountWorkload(Workload):
+    name = "wordcount"
+    summary = "wordcount input-size sweep (paper Fig 8)"
+    Params = WordcountParams
+
+    def run(self):
+        from ..experiments.fig8_wordcount import run_wordcount_point
+        from .wordcount import DEFAULT_SIZES_GB
+
+        return [
+            (
+                float(input_gb),
+                run_wordcount_point(
+                    self.params.mode, input_gb, seed=self.params.seed
+                ),
+            )
+            for input_gb in DEFAULT_SIZES_GB
+        ]
+
+    def format_result(self, result) -> str:
+        points = ", ".join(f"{gb:g}GB={dur:.0f}s" for gb, dur in result)
+        return f"wordcount [{self.params.mode}]: {points}"
+
+    def result_payload(self, result) -> Dict[str, object]:
+        return {
+            "mode": self.params.mode,
+            "durations": {f"{gb:g}": dur for gb, dur in result},
+        }
+
+
+@dataclass(frozen=True)
+class GoogleTraceParams:
+    """The Section II feasibility replay of the Google cluster trace."""
+
+    num_jobs: int = 1000
+    seed: int = 0
+
+
+@register_workload
+class GoogleTraceWorkload(Workload):
+    name = "google-trace"
+    summary = "synthetic Google cluster trace (Section II feasibility)"
+    Params = GoogleTraceParams
+
+    def run(self):
+        from .google_trace import GoogleTraceGenerator
+
+        return GoogleTraceGenerator(seed=self.params.seed).generate_jobs(
+            self.params.num_jobs
+        )
+
+    def format_result(self, result) -> str:
+        total_read = sum(job.total_read_time for job in result)
+        return (
+            f"google-trace: {len(result)} jobs, "
+            f"{total_read:.0f}s total disk-read time"
+        )
+
+    def result_payload(self, result) -> Dict[str, object]:
+        return {
+            "num_jobs": len(result),
+            "total_read_time": sum(job.total_read_time for job in result),
+        }

@@ -1,0 +1,183 @@
+"""The unified ``Workload`` protocol and registry.
+
+Every workload family the repro can drive — SWIM, sort, wordcount, the
+Google-trace feasibility replay, the trace-scale kernel stress, and the
+interactive serving workload — registers one :class:`Workload` subclass
+here.  A workload bundles:
+
+* ``name`` / ``summary`` — how it appears in ``repro list``;
+* ``Params`` — a frozen dataclass of knobs.  Field ``metadata`` drives
+  CLI generation (see :func:`add_workload_arguments`), so a workload's
+  subcommand flags live next to the knobs they set instead of in a
+  hand-maintained parser branch;
+* ``build(cluster, rng)`` — materialize datasets / wire policies onto a
+  cluster (or build one when ``cluster`` is ``None``);
+* ``run()`` — execute end to end and return a result object;
+* ``format_result(result)`` / ``result_payload(result)`` — the human
+  report and the JSON payload the CLI writes.
+
+``python -m repro`` generates one subparser per ``cli=True`` workload
+from the registry, replacing the ad-hoc per-workload branches that had
+accreted in ``__main__.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import MISSING, fields
+from typing import Callable, ClassVar, Dict, List, Optional, Type
+
+#: name -> workload class, in registration order (sorted on query).
+_REGISTRY: Dict[str, Type["Workload"]] = {}
+
+
+def register_workload(cls: Type["Workload"]) -> Type["Workload"]:
+    """Class decorator: add a workload to the global registry."""
+    name = getattr(cls, "name", None)
+    if not name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    if name in _REGISTRY:
+        raise ValueError(f"workload {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def workload_registry() -> Dict[str, Type["Workload"]]:
+    """All registered workloads, sorted by name."""
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
+
+
+def get_workload(name: str) -> Type["Workload"]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r} (known: {known})") from None
+
+
+def cli_workloads() -> List[Type["Workload"]]:
+    """The workloads that generate their own ``repro <name>`` subcommand."""
+    return [cls for _name, cls in sorted(_REGISTRY.items()) if cls.cli]
+
+
+class Workload:
+    """Base class every workload family implements.
+
+    Subclasses set the class attributes, implement :meth:`run`, and
+    usually :meth:`build` and :meth:`format_result`.  Instances are
+    cheap parameter holders; all heavy lifting happens in ``run()``.
+    """
+
+    #: Registry key and CLI subcommand name.
+    name: ClassVar[str] = ""
+    #: One-line description for ``repro list``.
+    summary: ClassVar[str] = ""
+    #: The parameter dataclass (its fields drive CLI generation).
+    Params: ClassVar[type] = None
+    #: Whether this workload gets its own generated subcommand.
+    cli: ClassVar[bool] = False
+    #: Optional longer description for the generated subparser.
+    epilog: ClassVar[Optional[str]] = None
+
+    def __init__(self, params=None):
+        self.params = params if params is not None else self.Params()
+
+    def build(self, cluster=None, rng=None):
+        """Materialize datasets / policies onto ``cluster`` (or build a
+        cluster when ``None``); returns the cluster.  Optional — some
+        workloads only make sense end to end through :meth:`run`."""
+        raise NotImplementedError(f"{self.name} has no standalone build()")
+
+    def run(self):
+        """Execute the workload end to end; returns a result object."""
+        raise NotImplementedError
+
+    def format_result(self, result) -> str:
+        """Human-readable report for the CLI (and the ``.txt`` output)."""
+        return str(result)
+
+    def result_payload(self, result) -> dict:
+        """JSON payload for the ``.json`` output."""
+        return result.to_dict()
+
+    def exit_code(self, result) -> int:
+        """CLI exit status for ``result`` (0 unless a check failed)."""
+        return 0
+
+
+# -- CLI generation -----------------------------------------------------------------
+
+
+def add_workload_arguments(parser: argparse.ArgumentParser, params_cls) -> None:
+    """Generate ``parser`` arguments from a params dataclass.
+
+    Field ``metadata`` keys:
+
+    * ``"flag"`` — the option string (default ``--<field-with-dashes>``);
+    * ``"help"`` — help text;
+    * ``"choices"`` — restrict values;
+    * ``"invert"`` — for default-``True`` booleans: the flag *clears*
+      the field (``--no-ignem`` -> ``ignem=False``);
+    * ``"cli": False`` — the field is not CLI-settable.
+
+    The ``seed`` field is skipped: every subcommand inherits ``--seed``
+    from the shared parent parser.
+    """
+    for field in fields(params_cls):
+        metadata = field.metadata
+        if not metadata.get("cli", True) or field.name == "seed":
+            continue
+        if field.default is MISSING:
+            raise ValueError(
+                f"CLI param {params_cls.__name__}.{field.name} needs a "
+                "default (or metadata {'cli': False})"
+            )
+        flag = metadata.get("flag", "--" + field.name.replace("_", "-"))
+        kwargs: dict = {
+            "dest": field.name,
+            "default": field.default,
+            "help": metadata.get("help"),
+        }
+        if isinstance(field.default, bool):
+            kwargs["action"] = (
+                "store_false" if metadata.get("invert") else "store_true"
+            )
+        else:
+            kwargs["type"] = type(field.default)
+            if "choices" in metadata:
+                kwargs["choices"] = metadata["choices"]
+        parser.add_argument(flag, **kwargs)
+
+
+def params_from_args(params_cls, args: argparse.Namespace):
+    """Rebuild a params dataclass from parsed CLI arguments."""
+    kwargs = {}
+    for field in fields(params_cls):
+        if not field.metadata.get("cli", True):
+            continue
+        if field.name == "seed":
+            kwargs["seed"] = args.seed
+        else:
+            kwargs[field.name] = getattr(args, field.name)
+    return params_cls(**kwargs)
+
+
+def cli_metadata(
+    flag: Optional[str] = None,
+    help: Optional[str] = None,  # noqa: A002 - mirrors argparse's keyword
+    choices=None,
+    invert: bool = False,
+    cli: bool = True,
+) -> Dict[str, object]:
+    """Build field metadata for :func:`add_workload_arguments` without
+    sprinkling dict literals through every params dataclass."""
+    metadata: Dict[str, object] = {"cli": cli}
+    if flag is not None:
+        metadata["flag"] = flag
+    if help is not None:
+        metadata["help"] = help
+    if choices is not None:
+        metadata["choices"] = tuple(choices)
+    if invert:
+        metadata["invert"] = True
+    return metadata

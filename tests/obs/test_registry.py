@@ -53,6 +53,36 @@ class TestHistogram:
     def test_default_buckets_ascend(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 
+    def test_quantile_interpolates_within_bucket(self):
+        hist = MetricsRegistry().histogram("a.b", bounds=(1.0, 2.0, 4.0))
+        for value in (1.2, 1.4, 1.6, 1.8):  # all in the (1.0, 2.0] bucket
+            hist.observe(value)
+        # Median interpolates halfway through the bucket's span.
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+        assert 1.0 <= hist.quantile(0.01)
+        assert hist.quantile(1.0) == pytest.approx(hist.max)
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = MetricsRegistry().histogram("a.b", bounds=(10.0, 20.0))
+        hist.observe(12.0)
+        hist.observe(14.0)
+        assert hist.quantile(0.0) >= hist.min
+        assert hist.quantile(1.0) <= hist.max
+
+    def test_quantile_overflow_bucket_reports_max(self):
+        hist = MetricsRegistry().histogram("a.b", bounds=(1.0,))
+        hist.observe(50.0)
+        hist.observe(70.0)
+        assert hist.quantile(0.99) == pytest.approx(70.0)
+
+    def test_quantile_requires_observations(self):
+        hist = MetricsRegistry().histogram("a.b")
+        with pytest.raises(ValueError):
+            hist.quantile(0.5)
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
 
 class TestRegistry:
     def test_get_or_create_shares_instruments(self):

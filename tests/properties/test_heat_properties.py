@@ -1,0 +1,170 @@
+"""Property-based tests for the heat estimator and promotion planner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.heat import (
+    HeatEstimator,
+    PromotionCandidate,
+    plan_promotions,
+)
+from repro.dfs.blocks import Block
+from repro.storage import MB
+
+
+def _block(index, nbytes=64 * MB):
+    return Block(
+        block_id=f"/p/data#blk{index}",
+        path="/p/data",
+        index=index,
+        nbytes=nbytes,
+    )
+
+
+#: One read event: (block index, tenant index, time).
+read_events = st.tuples(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=2),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+
+
+def _feed(estimator, events):
+    for block_index, tenant_index, when in events:
+        estimator.record(_block(block_index), f"t{tenant_index}", when)
+
+
+class TestEstimatorProperties:
+    @given(
+        st.lists(read_events, min_size=1, max_size=40),
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_decay_is_monotone_in_time(self, events, t_a, t_b):
+        """With no new reads, heat never increases as time passes."""
+        estimator = HeatEstimator(half_life=10.0)
+        _feed(estimator, events)
+        last = max(when for _b, _t, when in events)
+        earlier, later = sorted((last + t_a, last + t_b))
+        for block_index in range(6):
+            block_id = _block(block_index).block_id
+            assert (
+                estimator.heat(block_id, later)
+                <= estimator.heat(block_id, earlier) + 1e-12
+            )
+
+    @given(
+        st.lists(read_events, min_size=1, max_size=30),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_promotion_set_invariant_under_reordering(self, events, rnd):
+        """The heat state is a pure function of the event multiset: any
+        arrival order yields the same heats (up to float noise) and the
+        exact same set of promotion-qualified blocks."""
+        in_order = HeatEstimator(half_life=10.0)
+        _feed(in_order, events)
+        shuffled = list(events)
+        rnd.shuffle(shuffled)
+        reordered = HeatEstimator(half_life=10.0)
+        _feed(reordered, shuffled)
+
+        now = max(when for _b, _t, when in events) + 1.0
+        threshold = 2.0
+        qualified_a, qualified_b = set(), set()
+        for block_index in range(6):
+            block_id = _block(block_index).block_id
+            heat_a = in_order.heat(block_id, now)
+            heat_b = reordered.heat(block_id, now)
+            assert heat_a == pytest.approx(heat_b, rel=1e-9, abs=1e-9)
+            if heat_a >= threshold:
+                qualified_a.add(block_id)
+            if heat_b >= threshold:
+                qualified_b.add(block_id)
+        assert qualified_a == qualified_b
+
+    @given(st.lists(read_events, min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_tenant_counts_order_independent(self, events):
+        estimator = HeatEstimator(half_life=10.0)
+        _feed(estimator, events)
+        reordered = HeatEstimator(half_life=10.0)
+        _feed(reordered, list(reversed(events)))
+        for block_index in range(6):
+            block_id = _block(block_index).block_id
+            assert estimator.dominant_tenant(
+                block_id
+            ) == reordered.dominant_tenant(block_id)
+
+
+#: One promotion candidate: (block index, tenant index, size in MB).
+candidate_draws = st.tuples(
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=3),
+    st.floats(min_value=1.0, max_value=600.0, allow_nan=False),
+)
+
+
+def _candidates(draws):
+    return [
+        PromotionCandidate(
+            Block(
+                block_id=f"/p/data#blk{index}-{i}",
+                path="/p/data",
+                index=i,
+                nbytes=size_mb * MB,
+            ),
+            f"t{tenant}",
+        )
+        for i, (index, tenant, size_mb) in enumerate(draws)
+    ]
+
+
+class TestPlannerProperties:
+    @given(
+        st.lists(candidate_draws, min_size=0, max_size=30),
+        st.floats(min_value=1.0, max_value=1024.0),
+        st.floats(min_value=1.0, max_value=4096.0),
+        st.floats(min_value=0.0, max_value=2048.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_caps_never_exceeded(
+        self, draws, tenant_cap_mb, admit_cap_mb, outstanding_mb
+    ):
+        candidates = _candidates(draws)
+        tenant_cap = tenant_cap_mb * MB
+        admit_cap = admit_cap_mb * MB
+        outstanding = outstanding_mb * MB
+        granted, spend, overflow = plan_promotions(
+            candidates, tenant_cap, admit_cap, outstanding
+        )
+        # Per-tenant fairness: no tenant is granted more than the cap.
+        for tenant, granted_bytes in spend.items():
+            assert granted_bytes <= tenant_cap
+        # Admission: grants never push the in-flight total above the
+        # budget (already-over-budget outstanding just blocks grants).
+        if granted:
+            assert outstanding + sum(c.nbytes for c in granted) <= admit_cap
+        # Conservation: every candidate is granted or explained.
+        assert len(granted) + len(overflow) == len(candidates)
+        assert {id(c) for c in granted}.isdisjoint(
+            id(c) for c, _reason in overflow
+        )
+        # Spend is exactly the granted bytes, by tenant.
+        by_tenant = {}
+        for candidate in granted:
+            by_tenant[candidate.tenant] = (
+                by_tenant.get(candidate.tenant, 0.0) + candidate.nbytes
+            )
+        assert by_tenant == spend
+
+    @given(st.lists(candidate_draws, min_size=0, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_unbounded_caps_grant_everything(self, draws):
+        candidates = _candidates(draws)
+        granted, _spend, overflow = plan_promotions(
+            candidates, float("inf"), float("inf"), 0.0
+        )
+        assert granted == candidates
+        assert not overflow

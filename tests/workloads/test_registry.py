@@ -1,0 +1,161 @@
+"""The unified Workload protocol: registry, CLI generation, public API."""
+
+import argparse
+import warnings
+
+import pytest
+
+import repro
+from repro import RunOptions
+from repro.__main__ import build_parser, main
+from repro.workloads import (
+    ScaleConfig,
+    ServeConfig,
+    Workload,
+    add_workload_arguments,
+    cli_workloads,
+    get_workload,
+    params_from_args,
+    register_workload,
+    workload_registry,
+)
+
+ALL_FAMILIES = {
+    "google-trace",
+    "scale",
+    "serve",
+    "sort",
+    "swim",
+    "wordcount",
+}
+
+
+class TestRegistry:
+    def test_every_family_registered(self):
+        assert set(workload_registry()) == ALL_FAMILIES
+
+    def test_registry_sorted_by_name(self):
+        names = list(workload_registry())
+        assert names == sorted(names)
+
+    def test_get_workload_unknown_name(self):
+        with pytest.raises(KeyError, match="serve"):
+            get_workload("no-such-workload")
+
+    def test_cli_workloads_subset(self):
+        names = [cls.name for cls in cli_workloads()]
+        assert names == ["scale", "serve"]
+        assert all(cls.cli for cls in cli_workloads())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="serve"):
+
+            @register_workload
+            class Duplicate(Workload):
+                name = "serve"
+                summary = "clash"
+                Params = ServeConfig
+
+    def test_workloads_declare_summary_and_params(self):
+        for name, cls in workload_registry().items():
+            assert cls.summary, name
+            assert cls.Params is not None, name
+
+
+class TestCliGeneration:
+    def test_serve_subcommand_generated(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--policy", "hint", "--requests", "64", "--seed", "9"]
+        )
+        params = params_from_args(ServeConfig, args)
+        assert params.policy == "hint"
+        assert params.num_requests == 64
+        assert params.seed == 9
+
+    def test_scale_flags_preserved_after_migration(self):
+        """The hand-written scale subparser was replaced by generated
+        flags; the CI smoke job's exact invocation must keep parsing."""
+        parser = build_parser()
+        args = parser.parse_args(
+            ["scale", "--nodes", "200", "--jobs", "2000", "--seed", "1"]
+        )
+        params = params_from_args(ScaleConfig, args)
+        assert params.num_nodes == 200
+        assert params.num_jobs == 2000
+        assert params.ignem is True
+
+    def test_inverted_bool_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["scale", "--no-ignem"])
+        params = params_from_args(ScaleConfig, args)
+        assert params.ignem is False
+
+    def test_choices_enforced(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", "--policy", "oracle"])
+
+    def test_add_workload_arguments_skips_non_cli_fields(self):
+        parser = argparse.ArgumentParser()
+        parser.add_argument("--seed", type=int, default=0)
+        add_workload_arguments(parser, ServeConfig)
+        text = parser.format_help()
+        assert "--policy" in text
+        assert "object_bytes" not in text  # metadata cli:False
+        assert "--heat" not in text  # nested config is not a flag
+
+    def test_list_shows_workload_section(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "workloads:" in out
+        for name in ALL_FAMILIES:
+            assert name in out
+        # CLI-enabled families carry the subcommand marker.
+        assert any(
+            line.startswith("  serve") and "*" in line
+            for line in out.splitlines()
+        )
+
+
+class TestPublicApi:
+    def test_serving_symbols_exported(self):
+        for symbol in (
+            "ServeConfig",
+            "HeatConfig",
+            "HeatEstimator",
+            "RunOptions",
+            "workload_registry",
+        ):
+            assert symbol in repro.__all__
+            assert hasattr(repro, symbol)
+
+    def test_run_options_defaults(self):
+        options = RunOptions()
+        assert options.trace is None and options.metrics is None
+
+
+class TestRunOptionsDeprecation:
+    def _cluster(self):
+        from repro import Cluster, ClusterConfig
+
+        return Cluster(ClusterConfig(num_nodes=2, seed=0))
+
+    def test_old_kwargs_warn_but_work(self, tmp_path):
+        cluster = self._cluster()
+        trace_path = tmp_path / "trace.json"
+        with pytest.warns(DeprecationWarning):
+            cluster.run(trace=str(trace_path))
+
+    def test_options_object_is_silent(self, tmp_path):
+        cluster = self._cluster()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cluster.run(options=RunOptions())
+
+    def test_mixing_options_and_kwargs_rejected(self, tmp_path):
+        cluster = self._cluster()
+        with pytest.raises(TypeError):
+            cluster.run(
+                options=RunOptions(), trace=str(tmp_path / "trace.json")
+            )
