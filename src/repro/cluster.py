@@ -10,7 +10,6 @@ any size — in one call, and exposes the three evaluation configurations:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -31,6 +30,7 @@ from .sim.rand import RandomSource
 from .storage.device import GB, MB
 from .storage.presets import TIER_PRESETS, make_hdd, make_ram, make_ssd, tier_preset
 from .storage.tiers import MEM, build_tier_set
+from .transport.sim import SimTransport
 
 
 @dataclass(frozen=True)
@@ -119,12 +119,19 @@ class Cluster:
         self.collector = MetricsCollector()
 
         self.network = Network(self.env, bandwidth=cfg.network_bandwidth)
+        #: The control-plane message transport.  Every cross-node
+        #: interaction (master↔slave commands, client→master requests,
+        #: pipeline notices) is a protocol message through here; the sim
+        #: backend delivers synchronously in direct-call order, so the
+        #: default configuration stays byte-identical.
+        self.transport = SimTransport()
         self.namenode = NameNode(
             rng=self.rng.spawn("placement"),
             block_size=cfg.block_size,
             replication=cfg.replication,
         )
         self.namenode.fast_placement = cfg.fast_placement
+        self.transport.register("namenode", self.namenode.handle_message)
 
         # Local import to avoid a cycle (scheduler has no deps on cluster).
         from .scheduler.node_manager import NodeManager
@@ -143,6 +150,7 @@ class Cluster:
             datanode = self._build_datanode(name)
             self.namenode.register_datanode(datanode)
             self.datanodes[name] = datanode
+            self.transport.register(f"datanode/{name}", datanode.handle_message)
             self.rm.register_node(
                 NodeManager(
                     self.env,
@@ -156,6 +164,7 @@ class Cluster:
         self.client = DFSClient(
             self.env, self.namenode, self.network, rng=self.rng.spawn("client")
         )
+        self.client.transport = self.transport
         self.engine = MapReduceEngine(
             self.env, self.client, self.rm, self.collector, cfg.engine
         )
@@ -179,6 +188,11 @@ class Cluster:
         #: ``ObservabilityConfig(enabled=True)`` or ``run(trace=...)``.
         self.obs = Observability(self.env, cfg.observability)
         self.obs.register_cluster_pulls(self)
+        if cfg.observability.transport_metrics:
+            # Opt-in transport.* counters + trace spans.  Never bound on
+            # the clean path: counting encodes messages to measure wire
+            # size, which the bit-identical default must not pay for.
+            self.transport.instrument(self.obs.registry, self.obs)
         if cfg.observability.enabled:
             self.obs.activate()
             self.obs.attach(self)
@@ -248,6 +262,7 @@ class Cluster:
                 config=ignem_config,
                 collector=self.collector,
                 registry=self.obs.registry,
+                transport=self.transport,
             )
         else:
             master = IgnemMaster(
@@ -257,7 +272,9 @@ class Cluster:
                 config=ignem_config,
                 collector=self.collector,
                 registry=self.obs.registry,
+                transport=self.transport,
             )
+        self.transport.register("master", master.handle_message)
         #: Cluster-wide per-tier occupancy, maintained incrementally by
         #: every slave's accounting deltas (O(1) per event).
         self.tier_totals: Dict[str, float] = {}
@@ -273,7 +290,9 @@ class Cluster:
             )
             master.attach_slave(slave)
             self.ignem_slaves[name] = slave
+            self.transport.register(f"slave/{name}", slave.handle_message)
         self.client.ignem_master = master
+        self.client.transport_master = master
         self.ignem_master = master
         # Per-destination-tier occupancy, visible in every metrics
         # snapshot (pull metrics: zero hot-path cost).
@@ -330,6 +349,7 @@ class Cluster:
             config=config,
             registry=self.obs.registry,
             default_tier=self._ignem_config.migration_tier,
+            transport=self.transport,
         )
         self.heat_migrator = migrator
         self.namenode.subscribe_reads(migrator.on_read)
@@ -352,6 +372,7 @@ class Cluster:
                 max_concurrent_per_source=max_concurrent_per_source,
                 config=config,
                 registry=self.obs.registry,
+                transport=self.transport,
             )
             monitor = self.replication_monitor
             self.obs.registry.register_pull(
@@ -386,6 +407,7 @@ class Cluster:
         datanode = self._build_datanode(name)
         self.namenode.register_datanode(datanode)
         self.datanodes[name] = datanode
+        self.transport.register(f"datanode/{name}", datanode.handle_message)
         stagger = cfg.heartbeat_interval / max(1, cfg.num_nodes)
         self.rm.register_node(
             NodeManager(
@@ -408,6 +430,7 @@ class Cluster:
             )
             self.ignem_master.attach_slave(slave)
             self.ignem_slaves[name] = slave
+            self.transport.register(f"slave/{name}", slave.handle_message)
             if self.obs.active:
                 slave.obs = self.obs
         if self.obs.active:
@@ -509,13 +532,7 @@ class Cluster:
 
     # -- convenience -------------------------------------------------------------------
 
-    def run(
-        self,
-        until=None,
-        options: Optional[RunOptions] = None,
-        trace=None,
-        metrics=None,
-    ):
+    def run(self, until=None, options: Optional[RunOptions] = None):
         """Advance the simulation (see :meth:`Environment.run`).
 
         Observability extensions (all optional; plain ``run()`` is the
@@ -529,26 +546,13 @@ class Cluster:
           without tracing too).
 
         The pre-RunOptions ``trace=``/``metrics=`` keyword arguments
-        keep working but are deprecated (one release of warning, the
-        same playbook the PR 3 counter views followed).  With
-        ``ObservabilityConfig(enabled=True, trace_path=...,
+        were deprecated in the PR that introduced :class:`RunOptions`
+        and have been removed; passing them now raises ``TypeError``.
+        With ``ObservabilityConfig(enabled=True, trace_path=...,
         metrics_path=...)`` the same outputs are produced without
         per-call arguments.
         """
-        if trace is not None or metrics is not None:
-            if options is not None:
-                raise TypeError(
-                    "pass either options=RunOptions(...) or the deprecated "
-                    "trace=/metrics= kwargs, not both"
-                )
-            warnings.warn(
-                "cluster.run(trace=..., metrics=...) is deprecated; use "
-                "cluster.run(options=RunOptions(trace=..., metrics=...))",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            options = RunOptions(trace=trace, metrics=metrics)
-        elif options is None:
+        if options is None:
             options = RunOptions()
         obs = self.obs
         obs_cfg = self.config.observability

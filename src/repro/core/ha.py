@@ -18,8 +18,9 @@ from ..metrics.collector import MetricsCollector
 from ..obs.registry import MetricsRegistry
 from ..sim.engine import Environment
 from ..sim.rand import RandomSource
+from ..transport.messages import FailoverMsg
 from .config import IgnemConfig
-from .master import IgnemMaster
+from .master import IgnemMaster, dispatch_master_message
 from .slave import IgnemSlave
 
 
@@ -41,9 +42,11 @@ class HighAvailabilityMaster:
         config: Optional[IgnemConfig] = None,
         collector: Optional[MetricsCollector] = None,
         registry: Optional[MetricsRegistry] = None,
+        transport=None,
     ):
         rng = rng or RandomSource(0)
         registry = registry or MetricsRegistry()
+        self.transport = transport
         self.primary = IgnemMaster(
             env,
             namenode,
@@ -51,6 +54,7 @@ class HighAvailabilityMaster:
             config=config,
             collector=collector,
             registry=registry,
+            transport=transport,
         )
         self.standby = IgnemMaster(
             env,
@@ -59,6 +63,7 @@ class HighAvailabilityMaster:
             config=config,
             collector=collector,
             registry=registry,
+            transport=transport,
         )
         self._failovers = 0
 
@@ -128,6 +133,11 @@ class HighAvailabilityMaster:
     ) -> None:
         self.active.request_block_eviction(block_ids, owner)
 
+    def handle_message(self, msg):
+        """The ``"master"`` transport endpoint, routed through the pair
+        (the first request after a primary failure lands on the standby)."""
+        return dispatch_master_message(self, msg)
+
     # -- fault-injection plumbing ---------------------------------------------------
 
     @property
@@ -182,8 +192,17 @@ class HighAvailabilityMaster:
             return
         self.primary.fail()
         self._failovers += 1
-        for slave in self.standby.slaves():
-            slave.purge_all(reason="failure")
+        if self.transport is not None:
+            # Announce the failover to every slave as a protocol message;
+            # the handler performs the same purge the direct call did.
+            announcement = FailoverMsg(
+                generation=self._failovers, active="standby"
+            )
+            for slave in self.standby.slaves():
+                self.transport.send(f"slave/{slave.name}", announcement)
+        else:
+            for slave in self.standby.slaves():
+                slave.purge_all(reason="failure")
 
     def recover_primary(self) -> None:
         """Bring the primary back as the new standby-turned-active pair.

@@ -38,6 +38,7 @@ from ..dfs.blocks import Block
 from ..dfs.namenode import NameNode
 from ..obs.registry import MetricsRegistry
 from ..sim.engine import Environment
+from ..transport.messages import DemoteBlocksRequest, PromoteBlocksRequest
 from ..sim.events import Event
 from ..storage.device import GB, MB
 from ..storage.tiers import MEM
@@ -288,11 +289,15 @@ class PopularityMigrator:
         config: Optional[HeatConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         default_tier: str = MEM,
+        transport=None,
     ):
         self.env = env
         self.master = master
         self.namenode = namenode
         self.rm = rm
+        #: When set, promotions/demotions ship to the ``"master"``
+        #: endpoint as protocol messages instead of direct method calls.
+        self.transport = transport
         self.config = config or HeatConfig()
         self.dst_tier = self.config.dst_tier or default_tier
         self.estimator = HeatEstimator(
@@ -337,6 +342,25 @@ class PopularityMigrator:
         if self._parked is not None and not self._parked.triggered:
             self._parked.succeed(None)
 
+    # -- master RPC --------------------------------------------------------------
+
+    def _request_promotion(self, blocks, owner: str, dst_tier: str) -> None:
+        if self.transport is not None:
+            self.transport.request(
+                "master",
+                PromoteBlocksRequest(tuple(blocks), owner, dst_tier=dst_tier),
+            )
+        else:
+            self.master.request_block_migration(blocks, owner, dst_tier=dst_tier)
+
+    def _request_demotion(self, block_ids, owner: str) -> None:
+        if self.transport is not None:
+            self.transport.request(
+                "master", DemoteBlocksRequest(tuple(block_ids), owner)
+            )
+        else:
+            self.master.request_block_eviction(block_ids, owner)
+
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
@@ -354,7 +378,7 @@ class PopularityMigrator:
         self.enabled = False
         leftovers = sorted(set(self.promoted) | set(self._outstanding))
         if leftovers:
-            self.master.request_block_eviction(leftovers, self.config.owner)
+            self._request_demotion(leftovers, self.config.owner)
         self.promoted.clear()
         self._outstanding.clear()
         self._outstanding_bytes = 0.0
@@ -409,7 +433,7 @@ class PopularityMigrator:
             elif self._tick_count - issued >= config.request_ttl_ticks:
                 self._finish_outstanding(block_id)
                 self._c_expired.inc()
-                self.master.request_block_eviction([block_id], config.owner)
+                self._request_demotion([block_id], config.owner)
 
         # 2. Demote cooled (or deleted) promoted blocks.
         demote: List[str] = []
@@ -423,7 +447,7 @@ class PopularityMigrator:
             for block_id in demote:
                 self.promoted.pop(block_id)
             self._c_demotions.inc(len(demote))
-            self.master.request_block_eviction(demote, config.owner)
+            self._request_demotion(demote, config.owner)
 
         # 3. Gather candidates: deferred (re-validated) first — they were
         #    hot before the queue backed up — then fresh heat, hottest
@@ -467,10 +491,10 @@ class PopularityMigrator:
             self._overflow(candidate)
         if not granted:
             return
-        self.master.request_block_migration(
+        self._request_promotion(
             [candidate.block for candidate in granted],
             config.owner,
-            dst_tier=self.dst_tier,
+            self.dst_tier,
         )
         for candidate in granted:
             self._outstanding[candidate.block.block_id] = (

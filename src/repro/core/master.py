@@ -15,11 +15,49 @@ from ..dfs.blocks import Block
 from ..dfs.namenode import NameNode
 from ..metrics.collector import MetricsCollector
 from ..obs.registry import MetricsRegistry
+from ..net.network import NetworkError
 from ..sim.engine import Environment
 from ..sim.rand import RandomSource
+from ..transport.messages import (
+    Ack,
+    DemoteBlocksRequest,
+    EvictFilesRequest,
+    EvictMsg,
+    FailoverMsg,
+    MigrateFilesRequest,
+    MigrateMsg,
+    PromoteBlocksRequest,
+)
 from .commands import EvictCommand, MigrateCommand, MigrationWorkItem
 from .config import IgnemConfig
 from .slave import IgnemSlave
+
+
+def dispatch_master_message(master, msg):
+    """Shared ``"master"`` endpoint dispatch: translate a client-facing
+    protocol message into the corresponding request method.  Used by
+    both :class:`IgnemMaster` and the HA pair (which routes each request
+    to its active member)."""
+    if isinstance(msg, MigrateFilesRequest):
+        master.request_migration(
+            msg.paths,
+            msg.job_id,
+            implicit_eviction=msg.implicit_eviction,
+            dst_tier=msg.dst_tier,
+        )
+        return Ack(True)
+    if isinstance(msg, EvictFilesRequest):
+        master.request_eviction(msg.paths, msg.job_id)
+        return Ack(True)
+    if isinstance(msg, PromoteBlocksRequest):
+        master.request_block_migration(
+            msg.blocks, msg.owner, dst_tier=msg.dst_tier
+        )
+        return Ack(True)
+    if isinstance(msg, DemoteBlocksRequest):
+        master.request_block_eviction(msg.block_ids, msg.owner)
+        return Ack(True)
+    raise TypeError(f"master cannot handle {type(msg).__name__}")
 
 
 class IgnemMaster:
@@ -39,6 +77,7 @@ class IgnemMaster:
         config: Optional[IgnemConfig] = None,
         collector: Optional[MetricsCollector] = None,
         registry: Optional[MetricsRegistry] = None,
+        transport=None,
     ):
         self.env = env
         self.namenode = namenode
@@ -46,6 +85,11 @@ class IgnemMaster:
         self.config = config or IgnemConfig()
         self.collector = collector or MetricsCollector()
         self.metrics = registry or MetricsRegistry()
+        #: Message transport carrying master→slave commands.  ``None``
+        #: falls back to direct method calls (standalone masters in
+        #: tests); cluster-built masters always ship commands through
+        #: the transport's ``slave/<node>`` endpoints.
+        self.transport = transport
         self.alive = True
 
         self._slaves: Dict[str, IgnemSlave] = {}
@@ -291,7 +335,12 @@ class IgnemMaster:
         their reference lists to stay consistent with it (III-A5)."""
         self.alive = True
         for name, slave in self._slaves.items():
-            slave.purge_all(reason="failure")
+            if self.transport is not None:
+                self.transport.send(
+                    f"slave/{name}", FailoverMsg(generation=0, active="master")
+                )
+            else:
+                slave.purge_all(reason="failure")
             if self.failure_tap is not None:
                 self.failure_tap(name)
 
@@ -342,13 +391,27 @@ class IgnemMaster:
 
     def _deliver(self, node: str, kind: str, command) -> bool:
         slave = self._slaves[node]
-        if kind == "migrate":
+        if self.transport is not None:
+            # The command ships as a protocol message through the slave's
+            # transport endpoint.  SimTransport delivers the original
+            # command object synchronously, so ordering, acknowledgement
+            # semantics, and the tap boundary are exactly the direct call.
+            msg = MigrateMsg(command) if kind == "migrate" else EvictMsg(command)
+            try:
+                accepted = self.transport.request(f"slave/{node}", msg).ok
+            except NetworkError:
+                accepted = False
+        elif kind == "migrate":
             accepted = slave.receive_migrate(command)
         else:
             accepted = slave.receive_evict(command)
         if accepted and self.command_tap is not None:
             self.command_tap(node, kind, command, slave)
         return accepted
+
+    def handle_message(self, msg):
+        """The ``"master"`` transport endpoint (client-facing requests)."""
+        return dispatch_master_message(self, msg)
 
     def _rpc(self, node: str, kind: str, command, tried: FrozenSet[str]):
         cfg = self.config

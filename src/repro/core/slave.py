@@ -29,6 +29,7 @@ from ..scheduler.resource_manager import ResourceManager
 from ..sim.engine import Environment
 from ..sim.events import Event
 from ..sim.resources import PriorityItem, PriorityStore
+from ..transport.messages import Ack, EvictMsg, FailoverMsg, MigrateMsg
 from .commands import EvictCommand, MigrateCommand, MigrationWorkItem
 from .config import IgnemConfig
 from .policy import MigrationPolicy, make_policy
@@ -115,6 +116,24 @@ class IgnemSlave:
                 )
 
     # -- command intake (from the master) --------------------------------------
+
+    def handle_message(self, msg):
+        """The slave's ``slave/<node>`` transport endpoint.
+
+        Translates protocol messages into the historical receive calls;
+        the :class:`~repro.transport.messages.Ack` carries the same
+        acknowledgement bit the master's retry machinery keys on.
+        """
+        if isinstance(msg, MigrateMsg):
+            return Ack(self.receive_migrate(msg.command))
+        if isinstance(msg, EvictMsg):
+            return Ack(self.receive_evict(msg.command))
+        if isinstance(msg, FailoverMsg):
+            # A master change (failover or cold restart): purge reference
+            # state to stay consistent with the new master (III-A5).
+            self.purge_all(reason="failure")
+            return Ack(True)
+        raise TypeError(f"slave cannot handle {type(msg).__name__}")
 
     def receive_migrate(self, command: MigrateCommand) -> bool:
         """Queue a batch of migration work for one job.

@@ -102,6 +102,7 @@ class ReplicationMonitor:
         max_concurrent_per_source: int = 2,
         config: Optional[RepairConfig] = None,
         registry: Optional["MetricsRegistry"] = None,
+        transport=None,
     ):
         if max_concurrent_per_source < 1:
             raise ValueError("max_concurrent_per_source must be >= 1")
@@ -109,6 +110,10 @@ class ReplicationMonitor:
         self.namenode = namenode
         self.network = network
         self.rng = rng or RandomSource(0)
+        #: Control-plane transport; when set, each chain copy announces
+        #: itself to the pipeline targets with a one-way
+        #: :class:`~repro.transport.messages.ReplicaPipelineMsg`.
+        self.transport = transport
         if config is None:
             config = RepairConfig(max_concurrent_per_source=max_concurrent_per_source)
         self.config = config
@@ -311,6 +316,22 @@ class ReplicationMonitor:
         if not targets:
             return False
         yield from self._acquire(source, targets)
+        if self.transport is not None:
+            # Announce the pipeline to its targets (one-way bookkeeping;
+            # delivery is synchronous and touches no simulated clocks).
+            from ..transport.messages import ReplicaPipelineMsg
+
+            notice = ReplicaPipelineMsg(
+                block_id=block.block_id,
+                source=source,
+                targets=tuple(targets),
+                reason=reason,
+            )
+            for tgt in targets:
+                try:
+                    self.transport.send(f"datanode/{tgt}", notice)
+                except NetworkError:
+                    pass  # unregistered endpoint: the copy itself decides
         start = self.env.now
         committed = 0
         ok = True
@@ -352,13 +373,19 @@ class ReplicationMonitor:
         file was deleted)."""
         block_id = block.block_id
         state = self._replication_state(block_id)
+        already_holder = target in self.namenode.block_replicas(block_id)
         stale = (
             state is None
-            or target in self.namenode.block_replicas(block_id)
+            or already_holder
             or (reason == "repair" and len(state[1]) >= state[0])
         )
         if stale:
-            self.namenode.datanode(target).drop_block(block_id)
+            if not already_holder:
+                # Losing a commit race to a concurrent copy chain means
+                # the target now legitimately holds the block — dropping
+                # would destroy the winner's replica while the NameNode
+                # still lists the holder.  Only unregistered bytes go.
+                self.namenode.datanode(target).drop_block(block_id)
             self.copies_discarded += 1
             self._count("copies_discarded")
             return False
@@ -394,6 +421,29 @@ class ReplicationMonitor:
                     if obs is not None:
                         obs.on_repair_drop(block.block_id, victim, "excess")
                     dropped += 1
+        return dropped
+
+    def _thin_block(self, block_id: str) -> int:
+        """Drop one block's replicas down to its target count."""
+        dropped = 0
+        while True:
+            state = self._replication_state(block_id)
+            if state is None:
+                break
+            target, live = state
+            if len(live) <= target:
+                break
+            victim = self._thin_victim(block_id, live)
+            if victim is None:
+                break
+            self.namenode.remove_block_replica(block_id, victim)
+            self.namenode.datanode(victim).drop_block(block_id)
+            self.excess_dropped += 1
+            self._count("excess_dropped")
+            obs = self.obs
+            if obs is not None:
+                obs.on_repair_drop(block_id, victim, "excess")
+            dropped += 1
         return dropped
 
     def _thin_victim(self, block_id: str, live: Sequence[str]) -> Optional[str]:
@@ -436,6 +486,12 @@ class ReplicationMonitor:
                     obs = self.obs
                     if obs is not None:
                         obs.on_repair_drop(block.block_id, donor, "rebalance")
+                else:
+                    # A concurrent chain re-homed the donor's replica while
+                    # our copy was in flight, so the move degenerated into a
+                    # plain extra copy.  Thin it back to target — nothing
+                    # else revisits excess after a join.
+                    self._thin_block(block.block_id)
         finally:
             self._rebalancing.discard(node)
 

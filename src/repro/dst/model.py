@@ -22,6 +22,14 @@ real implementation from the outside:
 The model deliberately re-implements the priority spec instead of
 importing :mod:`repro.core.policy`: a regression in the product policy
 must *disagree* with this file to be caught.
+
+The command boundary the tap observes is now a transport boundary:
+master→slave commands travel as :class:`~repro.transport.messages`
+``MigrateMsg``/``EvictMsg`` over the cluster's
+:class:`~repro.transport.sim.SimTransport`, which delivers the
+*original* command objects synchronously.  The tap therefore still sees
+exactly the objects the slaves queue — identity, ``seq`` tie-breaks,
+and delivery order are all unchanged by the message-passing refactor.
 """
 
 from __future__ import annotations

@@ -8,6 +8,6 @@ combined) connected through a non-blocking fabric: a transfer between two
 servers is limited by the slower of the two NICs.
 """
 
-from .network import Network, NetworkInterface
+from .network import Network, NetworkError, NetworkInterface
 
-__all__ = ["Network", "NetworkInterface"]
+__all__ = ["Network", "NetworkError", "NetworkInterface"]

@@ -90,7 +90,7 @@ class Observability:
         obs.registry.write("metrics.json")
 
     :meth:`repro.cluster.Cluster.run` drives all of this from
-    ``run(trace=..., metrics=...)`` / ``ObservabilityConfig``.
+    ``run(options=RunOptions(...))`` / ``ObservabilityConfig``.
     """
 
     def __init__(
@@ -531,6 +531,22 @@ class Observability:
             start,
             lane="repair",
             args={"node": node, "blocks_moved": blocks_moved},
+        )
+
+    # -- transport hooks ---------------------------------------------------------------
+
+    def on_transport_message(self, endpoint: str, kind: str, nbytes: int) -> None:
+        """Transport delivery hook (bound only when
+        ``ObservabilityConfig.transport_metrics`` is on): one instant
+        event per message, tagged with endpoint, kind, and wire size."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled("transport"):
+            return
+        tracer.instant(
+            "transport.message",
+            "transport",
+            lane="transport",
+            args={"endpoint": endpoint, "kind": kind, "nbytes": nbytes},
         )
 
     # -- Ignem hooks ------------------------------------------------------------------

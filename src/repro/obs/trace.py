@@ -26,7 +26,17 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 #: kernel-level tracing multiplies event volume by the dispatch count and
 #: is only worth paying for when debugging the simulator itself.
 ALL_CATEGORIES: FrozenSet[str] = frozenset(
-    {"sim", "storage", "net", "dfs", "repair", "ignem", "scheduler", "job"}
+    {
+        "sim",
+        "storage",
+        "net",
+        "dfs",
+        "repair",
+        "ignem",
+        "scheduler",
+        "job",
+        "transport",
+    }
 )
 DEFAULT_CATEGORIES: FrozenSet[str] = ALL_CATEGORIES - {"sim"}
 

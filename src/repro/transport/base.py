@@ -1,0 +1,111 @@
+"""The Transport interface: named endpoints exchanging typed messages.
+
+A transport carries :mod:`~repro.transport.messages` between *endpoints*
+— string-named message handlers ("master", "namenode",
+"datanode/node3", "slave/node0").  Two verbs cover every interaction in
+the system:
+
+* :meth:`Transport.request` — request/reply: deliver a message, return
+  the handler's reply (RPC semantics; commands, namespace lookups,
+  block reads/writes);
+* :meth:`Transport.send` — one-way: deliver and forget (heartbeats,
+  pipeline notices, failover announcements).
+
+Delivery to an unknown or dead endpoint raises
+:class:`~repro.net.network.NetworkError` — the same exception the data
+plane uses, so callers have one failure surface for "the other side is
+unreachable".
+
+Instrumentation is strictly opt-in: :meth:`instrument` binds
+``transport.*`` counters from a :class:`~repro.obs.registry.MetricsRegistry`
+and an optional observability facade.  Un-instrumented (the default),
+the delivery path performs no counting and no serialisation — the
+simulator's clean path stays bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..net.network import NetworkError
+from . import messages as wire
+
+__all__ = ["Transport", "NetworkError"]
+
+
+class Transport:
+    """Base class: endpoint registry plus optional instrumentation.
+
+    Subclasses implement the delivery verbs.  ``register`` overwrites an
+    existing registration — restart and HA double-registration both
+    re-register the same endpoint name, and last-writer-wins is the
+    correct semantics for a process that replaced its predecessor.
+    """
+
+    def __init__(self) -> None:
+        self._endpoints: Dict[str, Callable] = {}
+        self._c_sent = None
+        self._c_received = None
+        self._c_bytes = None
+        self._obs = None
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def register(self, name: str, handler: Callable) -> None:
+        """Bind ``name`` to a message handler (``handler(msg) -> reply``)."""
+        if not name:
+            raise ValueError("endpoint name must be non-empty")
+        self._endpoints[name] = handler
+
+    def deregister(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def endpoints(self) -> List[str]:
+        return sorted(self._endpoints)
+
+    def _handler(self, endpoint: str) -> Callable:
+        handler = self._endpoints.get(endpoint)
+        if handler is None:
+            raise NetworkError(f"endpoint {endpoint!r} is not registered")
+        return handler
+
+    # -- delivery verbs ----------------------------------------------------------
+
+    def request(self, endpoint: str, message):
+        """Deliver ``message`` and return the endpoint's reply."""
+        raise NotImplementedError
+
+    def send(self, endpoint: str, message) -> None:
+        """Deliver ``message`` one-way (no reply)."""
+        raise NotImplementedError
+
+    # -- instrumentation ---------------------------------------------------------
+
+    def instrument(self, registry, obs=None) -> None:
+        """Opt in to ``transport.*`` counters (and trace spans via
+        ``obs``).  Never called on the clean path, so the cost of
+        counting — including encoding messages to measure wire size —
+        exists only when the user asked for it."""
+        self._c_sent = registry.counter("transport.messages_sent")
+        self._c_received = registry.counter("transport.messages_received")
+        self._c_bytes = registry.counter("transport.bytes_total")
+        self._obs = obs
+
+    @property
+    def instrumented(self) -> bool:
+        return self._c_sent is not None
+
+    def _note(self, endpoint: str, message, reply=None) -> None:
+        """Bookkeeping for one delivery (only when instrumented)."""
+        if self._c_sent is None:
+            return
+        self._c_sent.inc()
+        nbytes = len(wire.encode(message))
+        if reply is not None:
+            self._c_received.inc()
+            nbytes += len(wire.encode(reply))
+        self._c_bytes.inc(nbytes)
+        if self._obs is not None:
+            self._obs.on_transport_message(
+                endpoint, type(message).__name__, nbytes
+            )

@@ -1,0 +1,169 @@
+"""The cluster's SimTransport wiring: endpoints, routing, determinism.
+
+The refactor's contract in one suite: every cross-node interaction is
+addressable as a transport endpoint, client requests travel as protocol
+messages, and none of it changes what the simulator computes — the
+commands slaves receive are the *original* objects (identity, not a
+codec copy), the DST command tap still fires, and the ``transport.*``
+metrics stay completely absent until explicitly enabled.
+"""
+
+from repro import IgnemConfig, ObservabilityConfig, build_paper_testbed
+from repro.storage import MB
+from repro.transport.messages import EvictFilesRequest, MigrateFilesRequest
+
+from tests.fixtures import make_ignem_cluster
+
+
+def _recording_transport(cluster):
+    """Wrap ``transport.request`` to log (endpoint, message) pairs."""
+    calls = []
+    original = cluster.transport.request
+
+    def recording(endpoint, message):
+        calls.append((endpoint, message))
+        return original(endpoint, message)
+
+    cluster.transport.request = recording
+    return calls
+
+
+class TestEndpointRegistration:
+    def test_dfs_endpoints_registered_at_construction(self):
+        cluster = build_paper_testbed(num_nodes=3, seed=0)
+        endpoints = cluster.transport.endpoints()
+        assert "namenode" in endpoints
+        for name in cluster.node_names():
+            assert f"datanode/{name}" in endpoints
+
+    def test_ignem_endpoints_registered_on_enable(self):
+        cluster = make_ignem_cluster(num_nodes=3)
+        endpoints = cluster.transport.endpoints()
+        assert "master" in endpoints
+        for name in cluster.node_names():
+            assert f"slave/{name}" in endpoints
+
+    def test_added_datanode_gets_endpoints(self):
+        cluster = make_ignem_cluster(num_nodes=3)
+        name = cluster.add_datanode().name
+        endpoints = cluster.transport.endpoints()
+        assert f"datanode/{name}" in endpoints
+        assert f"slave/{name}" in endpoints
+
+
+class TestClientRouting:
+    def test_migrate_travels_as_protocol_message(self):
+        cluster = make_ignem_cluster(num_nodes=3)
+        calls = _recording_transport(cluster)
+        cluster.client.create_file("/f", 128 * MB)
+        cluster.rm.register_job("j1")
+        cluster.client.migrate(["/f"], "j1")
+        cluster.client.evict(["/f"], "j1")
+        kinds = [(ep, type(msg).__name__) for ep, msg in calls]
+        assert ("master", "MigrateFilesRequest") in kinds
+        assert ("master", "EvictFilesRequest") in kinds
+        migrate = next(m for _, m in calls if isinstance(m, MigrateFilesRequest))
+        assert migrate.paths == ("/f",) and migrate.job_id == "j1"
+        evict = next(m for _, m in calls if isinstance(m, EvictFilesRequest))
+        assert evict.paths == ("/f",)
+
+    def test_migration_still_completes_end_to_end(self):
+        cluster = make_ignem_cluster(num_nodes=3)
+        cluster.client.create_file("/f", 128 * MB)
+        cluster.rm.register_job("j1")
+        cluster.client.migrate(["/f"], "j1")
+        cluster.run()
+        total = sum(s.migrated_bytes for s in cluster.ignem_master.slaves())
+        assert total == 128 * MB
+
+    def test_master_shim_bypasses_transport(self):
+        """Experiments swap ``client.ignem_master`` for a routing shim
+        (e.g. the tier3 demo's size router); the client must call the
+        shim directly, not tunnel past it to the real master."""
+        cluster = make_ignem_cluster(num_nodes=3)
+        calls = _recording_transport(cluster)
+
+        class Shim:
+            def __init__(self):
+                self.migrations = []
+
+            def request_migration(self, paths, job_id, implicit_eviction=False):
+                self.migrations.append((tuple(paths), job_id))
+
+            def request_eviction(self, paths, job_id):
+                pass
+
+        shim = cluster.client.ignem_master = Shim()
+        cluster.client.migrate(["/f"], "j1")
+        assert shim.migrations == [(("/f",), "j1")]
+        assert calls == []
+
+
+class TestDeliveryIdentity:
+    def test_slaves_receive_original_command_objects(self):
+        """SimTransport must hand over the very objects the master
+        built: work-item ``seq`` comes from a global counter, so a
+        codec round-trip would consume counter values and perturb
+        priority tie-breaks across the whole run."""
+        tapped = []
+        cluster = make_ignem_cluster(num_nodes=3)
+        cluster.ignem_master.command_tap = (
+            lambda node, kind, command, slave: tapped.append((kind, command))
+        )
+        cluster.client.create_file("/f", 128 * MB)
+        cluster.rm.register_job("j1")
+        cluster.client.migrate(["/f"], "j1")
+        assert tapped and all(kind == "migrate" for kind, _ in tapped)
+        queued = [
+            entry.item.item
+            for slave in cluster.ignem_master.slaves()
+            for queue in slave.tier_queues.values()
+            for entry in queue.items
+            if entry.alive
+        ]
+        assert queued
+        tapped_items = [
+            item for _, command in tapped for item in command.items
+        ]
+        for queued_item in queued:
+            assert any(queued_item is item for item in tapped_items)
+
+
+class TestTransportMetrics:
+    def _run_once(self, transport_metrics):
+        cluster = build_paper_testbed(
+            num_nodes=3,
+            seed=0,
+            observability=ObservabilityConfig(
+                transport_metrics=transport_metrics
+            ),
+        )
+        cluster.enable_ignem(IgnemConfig(rpc_latency=0.0))
+        cluster.client.create_file("/f", 128 * MB)
+        cluster.rm.register_job("j1")
+        cluster.client.migrate(["/f"], "j1")
+        cluster.run()
+        return cluster
+
+    def test_counters_absent_by_default(self):
+        cluster = self._run_once(transport_metrics=False)
+        assert not cluster.transport.instrumented
+        assert not any(
+            name.startswith("transport.") for name in cluster.obs.registry.names()
+        )
+
+    def test_counters_present_when_enabled(self):
+        cluster = self._run_once(transport_metrics=True)
+        assert cluster.transport.instrumented
+        counters = cluster.obs.registry.snapshot()["counters"]
+        assert counters["transport.messages_sent"] > 0
+        assert counters["transport.bytes_total"] > 0
+
+    def test_instrumentation_does_not_change_results(self):
+        plain = self._run_once(transport_metrics=False)
+        counted = self._run_once(transport_metrics=True)
+        total = lambda c: sum(  # noqa: E731
+            s.migrated_bytes for s in c.ignem_master.slaves()
+        )
+        assert total(plain) == total(counted)
+        assert plain.env.now == counted.env.now

@@ -136,16 +136,23 @@ class TestPublicApi:
 
 
 class TestRunOptionsDeprecation:
+    """The legacy ``run(trace=..., metrics=...)`` kwargs went through
+    one release of DeprecationWarning and are now removed."""
+
     def _cluster(self):
         from repro import Cluster, ClusterConfig
 
         return Cluster(ClusterConfig(num_nodes=2, seed=0))
 
-    def test_old_kwargs_warn_but_work(self, tmp_path):
+    def test_old_kwargs_now_raise_type_error(self, tmp_path):
         cluster = self._cluster()
-        trace_path = tmp_path / "trace.json"
-        with pytest.warns(DeprecationWarning):
-            cluster.run(trace=str(trace_path))
+        with pytest.raises(TypeError):
+            cluster.run(trace=str(tmp_path / "trace.json"))
+
+    def test_old_metrics_kwarg_now_raises_type_error(self, tmp_path):
+        cluster = self._cluster()
+        with pytest.raises(TypeError):
+            cluster.run(metrics=str(tmp_path / "metrics.json"))
 
     def test_options_object_is_silent(self, tmp_path):
         cluster = self._cluster()
